@@ -1,0 +1,21 @@
+"""Figure 2 / Lemmas 1-3 — pairwise vs chain vs hierarchical merging cost."""
+
+from repro.evaluation import format_table
+from repro.experiments import figure2_strategy_scaling
+
+
+def test_figure2_strategy_scaling(benchmark, bench_profile):
+    """Time the three multi-table strategies while the number of sources grows."""
+    entities = 120 if bench_profile == "tiny" else 300
+    rows = benchmark(
+        lambda: figure2_strategy_scaling(num_sources_values=(2, 4, 8), entities_per_source=entities)
+    )
+    print("\n" + format_table(rows, title="Figure 2 / Lemmas 1-3: strategy scaling"))
+
+    assert [row["sources"] for row in rows] == [2, 4, 8]
+    # Pairwise matching cost must grow faster than hierarchical merging cost
+    # as the number of sources increases (quadratic vs near-linear in S).
+    first, last = rows[0], rows[-1]
+    pairwise_growth = last["pairwise (s)"] / max(first["pairwise (s)"], 1e-6)
+    hierarchical_growth = last["hierarchical (s)"] / max(first["hierarchical (s)"], 1e-6)
+    assert pairwise_growth > hierarchical_growth * 0.8

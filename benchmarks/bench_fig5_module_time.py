@@ -1,0 +1,16 @@
+"""Figure 5 — running time of each MultiEM module (serial vs parallel)."""
+
+from repro.evaluation import format_table
+from repro.experiments import figure5_module_times
+
+
+def test_figure5_module_times(benchmark, bench_profile, bench_datasets):
+    """Regenerate Figure 5's per-module timings."""
+    rows = benchmark(lambda: figure5_module_times(bench_datasets, profile=bench_profile))
+    print("\n" + format_table(rows, title=f"Figure 5 (profile={bench_profile})"))
+
+    for row in rows:
+        stage_total = row["S"] + row["R"] + row["M"] + row["P"]
+        assert stage_total >= 0
+        # Parallel timings are reported for the same stages.
+        assert row["M(p)"] >= 0 and row["P(p)"] >= 0

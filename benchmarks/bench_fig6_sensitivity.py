@@ -1,0 +1,35 @@
+"""Figure 6 — sensitivity to γ (a), merge order (b), m (c, d), and ε (e, f)."""
+
+from repro.evaluation import format_table
+from repro.experiments import figure6_epsilon, figure6_gamma, figure6_m, figure6_seed
+
+
+def test_figure6a_gamma(benchmark, bench_profile, bench_datasets):
+    rows = benchmark(lambda: figure6_gamma(bench_datasets[:2], profile=bench_profile))
+    print("\n" + format_table(rows, title=f"Figure 6(a): gamma sweep (profile={bench_profile})"))
+    assert all(0 <= row["F1"] <= 100 for row in rows)
+
+
+def test_figure6b_merge_order(benchmark, bench_profile, bench_datasets):
+    rows = benchmark(lambda: figure6_seed(bench_datasets[:2], profile=bench_profile))
+    print("\n" + format_table(rows, title=f"Figure 6(b): seed sweep (profile={bench_profile})"))
+    # Merge order should not change the result wildly (paper: avg variation 1.4 F1).
+    for dataset in {row["dataset"] for row in rows}:
+        f1_values = [row["F1"] for row in rows if row["dataset"] == dataset]
+        assert max(f1_values) - min(f1_values) < 30
+
+
+def test_figure6cd_m(benchmark, bench_profile, bench_datasets):
+    rows = benchmark(lambda: figure6_m(bench_datasets[:2], profile=bench_profile))
+    print("\n" + format_table(rows, title=f"Figure 6(c,d): m sweep (profile={bench_profile})"))
+    assert {row["m"] for row in rows} >= {0.35, 0.5}
+    assert all(row["normalized time"] > 0 for row in rows)
+
+
+def test_figure6ef_epsilon(benchmark, bench_profile, bench_datasets):
+    rows = benchmark(lambda: figure6_epsilon(bench_datasets[:2], profile=bench_profile))
+    print("\n" + format_table(rows, title=f"Figure 6(e,f): epsilon sweep (profile={bench_profile})"))
+    # The paper finds overall matching performance stable as epsilon varies.
+    for dataset in {row["dataset"] for row in rows}:
+        f1_values = [row["F1"] for row in rows if row["dataset"] == dataset]
+        assert max(f1_values) - min(f1_values) < 40

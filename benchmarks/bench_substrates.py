@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the substrates MultiEM is built on.
+
+Not a paper table, but useful for tracking the cost of the pieces Figure 5
+aggregates: encoding, ANN index construction/query, and density pruning.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann import BruteForceIndex, HNSWIndex, mutual_top_k
+from repro.clustering import dbscan
+from repro.data.generators import load_benchmark
+from repro.data.serialization import serialize_table
+from repro.embedding import HashedNGramEncoder
+
+
+@pytest.fixture(scope="module")
+def corpus(bench_profile):
+    dataset = load_benchmark("music-20", profile=bench_profile)
+    texts: list[str] = []
+    for table in dataset.table_list():
+        texts.extend(serialize_table(table))
+    return texts
+
+
+@pytest.fixture(scope="module")
+def vectors(corpus):
+    encoder = HashedNGramEncoder(dimension=256)
+    encoder.fit(corpus)
+    return encoder.encode(corpus)
+
+
+def test_bench_encoding_throughput(benchmark, corpus):
+    encoder = HashedNGramEncoder(dimension=256)
+    encoder.fit(corpus)
+    benchmark(lambda: encoder.encode(corpus))
+
+
+def test_bench_brute_force_query(benchmark, vectors):
+    index = BruteForceIndex().build(vectors)
+    benchmark(lambda: index.query(vectors[:256], 5))
+
+
+def test_bench_hnsw_build_and_query(benchmark, vectors):
+    subset = vectors[:600]
+
+    def build_and_query():
+        index = HNSWIndex(ef_search=32, ef_construction=60, seed=0).build(subset)
+        return index.query(subset[:64], 3)
+
+    benchmark(build_and_query)
+
+
+def test_bench_mutual_top_k(benchmark, vectors):
+    half = len(vectors) // 2
+    benchmark(lambda: mutual_top_k(vectors[:half], vectors[half:], k=1, max_distance=0.5))
+
+
+def test_bench_dbscan_pruning(benchmark, vectors):
+    rng = np.random.default_rng(0)
+    sample = vectors[rng.choice(len(vectors), size=min(400, len(vectors)), replace=False)]
+    benchmark(lambda: dbscan(sample, epsilon=1.0, min_pts=2))

@@ -1,0 +1,14 @@
+"""Table III — dataset statistics (generated vs paper)."""
+
+from repro.data.generators import load_benchmark
+from repro.evaluation import format_table
+from repro.experiments import table3_dataset_statistics
+
+
+def test_table3_dataset_statistics(benchmark, bench_profile, bench_datasets):
+    """Regenerate Table III and benchmark dataset generation itself."""
+    rows = table3_dataset_statistics(bench_datasets, profile=bench_profile)
+    print("\n" + format_table(rows, title=f"Table III (profile={bench_profile})"))
+    assert all(row["entities"] > 0 for row in rows)
+
+    benchmark(lambda: load_benchmark(bench_datasets[0], profile=bench_profile))

@@ -1,0 +1,50 @@
+"""Table IV — matching effectiveness of MultiEM, its ablations, and all baselines."""
+
+import pytest
+
+from repro.evaluation import format_table
+from repro.experiments import TABLE4_METHODS, run_matrix, table4_effectiveness
+
+
+#: Subset of methods that stay fast at every profile; the full TABLE4_METHODS
+#: list is used when the profile is "tiny" or when explicitly requested.
+FAST_METHODS = (
+    "AutoFJ (pw)",
+    "AutoFJ (c)",
+    "ALMSER-GB",
+    "MSCD-HAC",
+    "MultiEM",
+    "MultiEM w/o EER",
+    "MultiEM w/o DP",
+)
+
+
+@pytest.fixture(scope="module")
+def table4_runs(bench_profile, bench_datasets):
+    methods = TABLE4_METHODS if bench_profile == "tiny" else TABLE4_METHODS
+    return run_matrix(methods, bench_datasets, profile=bench_profile)
+
+
+def test_table4_effectiveness(benchmark, table4_runs, bench_profile, bench_datasets):
+    """Regenerate Table IV and check its headline shape."""
+    rows = table4_effectiveness(bench_datasets, runs=table4_runs)
+    print("\n" + format_table(rows, title=f"Table IV (profile={bench_profile})"))
+
+    by_cell = {(run.method, run.dataset): run for run in table4_runs}
+    for dataset in bench_datasets:
+        multiem = by_cell[("MultiEM", dataset)]
+        assert multiem.status == "ok"
+        assert multiem.report is not None and multiem.report.f1 > 0
+        # Shape check: MultiEM beats every *unsupervised* baseline that ran.
+        # The check is skipped for degenerate tiny datasets (a handful of rows
+        # per source), where cubic clustering baselines have no scale handicap.
+        if multiem.report.num_truth_tuples < 200:
+            continue
+        for method in ("AutoFJ (pw)", "AutoFJ (c)", "MSCD-HAC"):
+            run = by_cell.get((method, dataset))
+            if run is not None and run.status == "ok" and run.report is not None:
+                assert multiem.report.pair_f1 >= run.report.pair_f1 - 5.0, (
+                    f"MultiEM should not lose clearly to {method} on {dataset}"
+                )
+
+    benchmark(lambda: table4_effectiveness(bench_datasets, runs=table4_runs))

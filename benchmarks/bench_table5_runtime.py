@@ -1,0 +1,34 @@
+"""Table V — running-time comparison (MultiEM and MultiEM(parallel) vs baselines)."""
+
+import pytest
+
+from repro.data.generators import load_benchmark
+from repro.evaluation import format_table
+from repro.experiments import create_method, run_matrix, table5_runtime
+
+METHODS = ("AutoFJ (pw)", "ALMSER-GB", "MSCD-HAC", "MultiEM", "MultiEM (parallel)")
+
+
+@pytest.fixture(scope="module")
+def runtime_runs(bench_profile, bench_datasets):
+    return run_matrix(METHODS, bench_datasets, profile=bench_profile)
+
+
+def test_table5_runtime(benchmark, runtime_runs, bench_profile, bench_datasets):
+    """Regenerate Table V and check MultiEM is never the slowest method."""
+    rows = table5_runtime(bench_datasets, METHODS, runs=runtime_runs)
+    print("\n" + format_table(rows, title=f"Table V (profile={bench_profile})"))
+
+    for dataset in bench_datasets:
+        cells = [r for r in runtime_runs if r.dataset == dataset and r.status == "ok"]
+        multiem = next(r for r in cells if r.method == "MultiEM")
+        slower_baselines = [r for r in cells if r.method not in ("MultiEM", "MultiEM (parallel)")]
+        if slower_baselines:
+            slowest = max(r.elapsed_seconds for r in slower_baselines)
+            assert multiem.elapsed_seconds <= slowest * 1.5, (
+                f"MultiEM should be competitive with the slowest baseline on {dataset}"
+            )
+
+    dataset = load_benchmark(bench_datasets[0], profile=bench_profile)
+    matcher = create_method("MultiEM", bench_datasets[0])
+    benchmark(lambda: matcher.match(dataset))

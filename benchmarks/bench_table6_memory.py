@@ -1,0 +1,25 @@
+"""Table VI — peak-memory comparison."""
+
+import pytest
+
+from repro.evaluation import format_table
+from repro.experiments import run_matrix, table6_memory
+
+METHODS = ("AutoFJ (pw)", "ALMSER-GB", "MSCD-HAC", "MultiEM", "MultiEM (parallel)")
+
+
+@pytest.fixture(scope="module")
+def memory_runs(bench_profile, bench_datasets):
+    return run_matrix(METHODS, bench_datasets, profile=bench_profile)
+
+
+def test_table6_memory(benchmark, memory_runs, bench_profile, bench_datasets):
+    """Regenerate Table VI; every successful run must report a non-zero peak."""
+    rows = table6_memory(bench_datasets, METHODS, runs=memory_runs)
+    print("\n" + format_table(rows, title=f"Table VI (profile={bench_profile})"))
+
+    for run in memory_runs:
+        if run.status == "ok":
+            assert run.peak_memory_bytes > 0
+
+    benchmark(lambda: table6_memory(bench_datasets, METHODS, runs=memory_runs))

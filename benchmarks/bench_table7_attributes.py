@@ -1,0 +1,22 @@
+"""Table VII — attributes selected by Algorithm 1 on every dataset."""
+
+from repro.evaluation import format_table
+from repro.experiments import table7_selected_attributes
+
+
+def test_table7_selected_attributes(benchmark, bench_profile, bench_datasets):
+    """Regenerate Table VII; selection must keep the descriptive text attributes."""
+    rows = benchmark(lambda: table7_selected_attributes(bench_datasets, profile=bench_profile))
+    print("\n" + format_table(rows, ["dataset", "all attributes", "selected attributes"],
+                              title=f"Table VII (profile={bench_profile})"))
+
+    by_dataset = {row["dataset"]: row for row in rows}
+    if "geo" in by_dataset:
+        assert by_dataset["geo"]["selected attributes"] == "name"
+    for music in ("music-20", "music-200", "music-2000"):
+        if music in by_dataset:
+            selected = by_dataset[music]["selected attributes"]
+            assert "title" in selected and "artist" in selected and "album" in selected
+            assert "id" not in selected.split(", ")
+    if "shopee" in by_dataset:
+        assert by_dataset["shopee"]["selected attributes"] == "title"

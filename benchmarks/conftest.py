@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper. Two environment
+variables control the cost:
+
+* ``REPRO_BENCH_PROFILE`` — dataset scale: ``tiny`` (default here, seconds),
+  ``bench`` (minutes, the scale used for EXPERIMENTS.md), or ``paper``.
+* ``REPRO_BENCH_DATASETS`` — comma-separated subset of dataset names.
+
+Each benchmark prints the regenerated rows so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the report generator.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data.generators import DATASET_NAMES
+
+DEFAULT_PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "tiny")
+_dataset_env = os.environ.get("REPRO_BENCH_DATASETS", "")
+DEFAULT_DATASETS: tuple[str, ...] = (
+    tuple(name.strip() for name in _dataset_env.split(",") if name.strip())
+    or ("geo", "music-20", "shopee")
+)
+ALL_DATASETS = DATASET_NAMES
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> str:
+    return DEFAULT_PROFILE
+
+
+@pytest.fixture(scope="session")
+def bench_datasets() -> tuple[str, ...]:
+    return DEFAULT_DATASETS

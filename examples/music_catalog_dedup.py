@@ -1,0 +1,59 @@
+"""Music catalogue integration: merge five track catalogues into one.
+
+Mirrors the paper's Music-20/200/2000 benchmarks: five sources describe the
+same tracks with different identifiers, formats, and typos. The example shows
+
+* how Algorithm 1 discards the metadata columns (id, number, length, year,
+  language) and keeps title/artist/album (Table VII),
+* how the predictions compare against the MSCD-HAC clustering baseline, and
+* how to export the integrated catalogue with one canonical row per entity.
+
+Run with::
+
+    python examples/music_catalog_dedup.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import MultiEM, evaluate, load_benchmark, paper_default_config
+from repro.baselines import MSCDHAC
+from repro.exceptions import BaselineUnsupportedError
+
+
+def main() -> None:
+    dataset = load_benchmark("music-20", profile="tiny", seed=3)
+    print(f"{dataset.num_sources} catalogues, {dataset.num_entities} records, "
+          f"{dataset.num_truth_tuples} true cross-catalogue groups")
+
+    pipeline = MultiEM(paper_default_config("music-20"))
+    result = pipeline.match(dataset)
+    report = evaluate(result, dataset)
+
+    print("\nAlgorithm 1 significance scores:")
+    for attribute, score in sorted(result.significance_scores.items(), key=lambda kv: -kv[1]):
+        marker = "kept" if attribute in result.selected_attributes else "dropped"
+        print(f"  {attribute:10s} {score:6.3f}  ({marker})")
+
+    print(f"\nMultiEM:   tuple F1 = {report.f1:5.1f}   pair-F1 = {report.pair_f1:5.1f}")
+
+    try:
+        hac_report = evaluate(MSCDHAC().match(dataset), dataset)
+        print(f"MSCD-HAC:  tuple F1 = {hac_report.f1:5.1f}   pair-F1 = {hac_report.pair_f1:5.1f}")
+    except BaselineUnsupportedError as exc:
+        print(f"MSCD-HAC:  skipped ({exc})")
+
+    # Build the integrated catalogue: one canonical row per predicted group,
+    # choosing the longest title as the representative.
+    sizes = Counter(len(tup) for tup in result.tuples)
+    print(f"\npredicted group sizes: {dict(sorted(sizes.items()))}")
+    print("\nintegrated catalogue sample (canonical title | artist | #sources):")
+    for tup in sorted(result.tuples, key=len, reverse=True)[:5]:
+        records = [dataset.entity(ref) for ref in sorted(tup)]
+        canonical = max(records, key=lambda record: len(record.get("title", "")))
+        print(f"  {canonical.get('title', ''):40s} | {canonical.get('artist', ''):20s} | {len(records)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Price-comparison scenario: find the best price for each product across shops.
+
+This is the motivating application from the paper's introduction (PriceRunner
+/ Skroutz style services): the same product is listed with different titles on
+many marketplaces, and the service must group the listings before it can
+compare prices.
+
+Run with::
+
+    python examples/price_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import MultiEM, load_benchmark, paper_default_config
+
+
+def main() -> None:
+    dataset = load_benchmark("product", profile="tiny", seed=21)
+    print(f"{dataset.num_sources} marketplaces, {dataset.num_entities} listings")
+
+    result = MultiEM(paper_default_config("product")).match(dataset)
+    print(f"grouped into {result.num_tuples} multi-shop products\n")
+
+    # For every predicted product group, report the cheapest listing.
+    savings = []
+    print(f"{'product (representative title)':55s} {'best price':>10s} {'worst':>8s} {'shops':>6s}")
+    for tup in sorted(result.tuples, key=len, reverse=True)[:10]:
+        listings = [dataset.entity(ref) for ref in sorted(tup)]
+        prices = []
+        for listing in listings:
+            try:
+                prices.append(float(listing.get("price", "0") or 0))
+            except ValueError:
+                continue
+        if not prices:
+            continue
+        best, worst = min(prices), max(prices)
+        savings.append(worst - best)
+        title = listings[0].get("title", "")[:53]
+        print(f"{title:55s} {best:10.2f} {worst:8.2f} {len(listings):6d}")
+
+    if savings:
+        print(f"\naverage spread between best and worst price: {sum(savings) / len(savings):.2f}")
+
+
+if __name__ == "__main__":
+    main()

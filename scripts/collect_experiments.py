@@ -1,0 +1,94 @@
+"""Collect the bench-profile numbers recorded in EXPERIMENTS.md.
+
+Runs the experiment harness at the ``bench`` profile on a subset of datasets
+and writes the formatted tables to ``results/experiments_bench.txt``. The
+benchmark suite (``pytest benchmarks/``) regenerates the same tables; this
+script is the convenience one-shot used to populate EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.data.generators import DATASET_NAMES
+from repro.evaluation import format_table
+from repro.experiments import (
+    ablation_mutual_vs_directed,
+    figure2_strategy_scaling,
+    figure5_module_times,
+    figure6_epsilon,
+    figure6_m,
+    figure6_seed,
+    figure6_gamma,
+    run_matrix,
+    table3_dataset_statistics,
+    table4_effectiveness,
+    table5_runtime,
+    table6_memory,
+    table7_selected_attributes,
+)
+
+PROFILE = sys.argv[1] if len(sys.argv) > 1 else "bench"
+DATASETS = ("geo", "music-20", "music-200", "shopee")
+METHODS = (
+    "PromptEM (pw)", "Ditto (pw)", "AutoFJ (pw)",
+    "PromptEM (c)", "Ditto (c)", "AutoFJ (c)",
+    "ALMSER-GB", "MSCD-HAC",
+    "MultiEM", "MultiEM w/o EER", "MultiEM w/o DP", "MultiEM (parallel)",
+)
+
+
+def main() -> None:
+    output_dir = Path("results")
+    output_dir.mkdir(exist_ok=True)
+    sections: list[str] = []
+
+    sections.append(format_table(
+        table3_dataset_statistics(DATASET_NAMES, profile=PROFILE),
+        title=f"Table III — dataset statistics (profile={PROFILE})"))
+
+    runs = run_matrix(METHODS, DATASETS, profile=PROFILE)
+    sections.append(format_table(
+        table4_effectiveness(DATASETS, METHODS, runs=runs),
+        title=f"Table IV — effectiveness (profile={PROFILE})"))
+    sections.append(format_table(
+        table5_runtime(DATASETS, METHODS, runs=runs),
+        title=f"Table V — running time (profile={PROFILE})"))
+    sections.append(format_table(
+        table6_memory(DATASETS, METHODS, runs=runs),
+        title=f"Table VI — peak memory (profile={PROFILE})"))
+    sections.append(format_table(
+        table7_selected_attributes(DATASET_NAMES, profile=PROFILE),
+        ["dataset", "all attributes", "selected attributes"],
+        title=f"Table VII — selected attributes (profile={PROFILE})"))
+
+    sections.append(format_table(
+        figure5_module_times(DATASETS, profile=PROFILE),
+        title="Figure 5 — per-module running time (seconds)"))
+    sections.append(format_table(
+        figure6_gamma(("geo", "music-20"), profile=PROFILE),
+        title="Figure 6(a) — gamma sweep"))
+    sections.append(format_table(
+        figure6_seed(("geo", "music-20"), profile=PROFILE),
+        title="Figure 6(b) — merge-order (seed) sweep"))
+    sections.append(format_table(
+        figure6_m(("geo", "music-20"), profile=PROFILE),
+        title="Figure 6(c,d) — m sweep"))
+    sections.append(format_table(
+        figure6_epsilon(("geo", "music-20"), profile=PROFILE),
+        title="Figure 6(e,f) — epsilon sweep"))
+    sections.append(format_table(
+        figure2_strategy_scaling(entities_per_source=200),
+        title="Figure 2 / Lemmas — strategy scaling"))
+    sections.append(format_table(
+        ablation_mutual_vs_directed(("geo", "music-20"), profile=PROFILE),
+        title="Ablation — mutual vs directed top-K"))
+
+    report = "\n\n".join(sections) + "\n"
+    (output_dir / f"experiments_{PROFILE}.txt").write_text(report, encoding="utf-8")
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

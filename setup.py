@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` falls back to the legacy code path
+through this file when PEP 660 editable builds are unavailable offline.
+"""
+
+from setuptools import setup
+
+setup()

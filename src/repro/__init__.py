@@ -1,0 +1,62 @@
+"""repro — reproduction of "MultiEM: Efficient and Effective Unsupervised
+Multi-Table Entity Matching" (ICDE 2024).
+
+Public API highlights:
+
+* :class:`repro.MultiEM` — the unsupervised multi-table matcher.
+* :func:`repro.load_benchmark` — synthetic stand-ins for the paper's datasets.
+* :func:`repro.evaluate` — tuple-F1 / pair-F1 evaluation against ground truth.
+* :mod:`repro.baselines` — pairwise/chain extensions, AutoFJ, MSCD-HAC/AP,
+  supervised pair classifiers, ALMSER-GB stand-in.
+* :mod:`repro.experiments` — regenerate every table and figure of the paper.
+"""
+
+from .config import (
+    MergingConfig,
+    MultiEMConfig,
+    ParallelConfig,
+    PruningConfig,
+    RepresentationConfig,
+    paper_default_config,
+)
+from .core import IncrementalMultiEM, MatchResult, MultiEM
+from .data import Entity, EntityRef, MultiTableDataset, Table
+from .data.generators import available_datasets, load_benchmark
+from .evaluation import EvaluationReport, evaluate
+from .exceptions import (
+    BaselineUnsupportedError,
+    ConfigurationError,
+    DataError,
+    EvaluationError,
+    ReproError,
+    SchemaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MultiEM",
+    "IncrementalMultiEM",
+    "MatchResult",
+    "MultiEMConfig",
+    "RepresentationConfig",
+    "MergingConfig",
+    "PruningConfig",
+    "ParallelConfig",
+    "paper_default_config",
+    "Entity",
+    "EntityRef",
+    "Table",
+    "MultiTableDataset",
+    "load_benchmark",
+    "available_datasets",
+    "evaluate",
+    "EvaluationReport",
+    "ReproError",
+    "ConfigurationError",
+    "SchemaError",
+    "DataError",
+    "EvaluationError",
+    "BaselineUnsupportedError",
+    "__version__",
+]

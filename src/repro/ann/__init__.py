@@ -1,0 +1,32 @@
+"""Approximate nearest-neighbour substrate: brute force, HNSW, LSH, mutual top-K."""
+
+from .base import NearestNeighborIndex
+from .brute_force import BruteForceIndex
+from .distances import (
+    METRICS,
+    cosine_distance_matrix,
+    distance_matrix,
+    euclidean_distance_matrix,
+    pairwise_distances,
+    point_distances,
+)
+from .hnsw import HNSWIndex
+from .lsh import LSHIndex
+from .mutual import MutualPair, create_index, mutual_top_k, top_k_pairs
+
+__all__ = [
+    "NearestNeighborIndex",
+    "BruteForceIndex",
+    "HNSWIndex",
+    "LSHIndex",
+    "MutualPair",
+    "create_index",
+    "mutual_top_k",
+    "top_k_pairs",
+    "METRICS",
+    "distance_matrix",
+    "cosine_distance_matrix",
+    "euclidean_distance_matrix",
+    "pairwise_distances",
+    "point_distances",
+]

@@ -1,0 +1,54 @@
+"""Exact nearest-neighbour search by full distance-matrix computation.
+
+Used as the reference implementation for HNSW recall tests and as the default
+backend for tables small enough that an exact search is faster than building
+a graph index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import IndexError_
+from .base import NearestNeighborIndex
+from .distances import distance_matrix
+
+
+class BruteForceIndex(NearestNeighborIndex):
+    """Exact top-K search; O(n·q) distance evaluations per query batch."""
+
+    def __init__(self, metric: str = "cosine", batch_size: int = 2048) -> None:
+        super().__init__(metric)
+        if batch_size < 1:
+            raise IndexError_("batch_size must be >= 1")
+        self.batch_size = batch_size
+
+    def build(self, vectors: np.ndarray) -> "BruteForceIndex":
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise IndexError_("expected a 2-d array of vectors")
+        self._vectors = vectors
+        return self
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        vectors = self._require_built()
+        queries = np.asarray(queries, dtype=np.float32)
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        num_queries = queries.shape[0]
+        indices = np.full((num_queries, k), -1, dtype=np.int64)
+        distances = np.full((num_queries, k), np.inf, dtype=np.float64)
+        effective_k = min(k, vectors.shape[0])
+        for start in range(0, num_queries, self.batch_size):
+            stop = min(start + self.batch_size, num_queries)
+            block = distance_matrix(queries[start:stop], vectors, self.metric)
+            if effective_k < vectors.shape[0]:
+                top = np.argpartition(block, effective_k - 1, axis=1)[:, :effective_k]
+            else:
+                top = np.tile(np.arange(vectors.shape[0]), (stop - start, 1))
+            row_index = np.arange(stop - start)[:, None]
+            top_distances = block[row_index, top]
+            order = np.argsort(top_distances, axis=1)
+            indices[start:stop, :effective_k] = top[row_index, order]
+            distances[start:stop, :effective_k] = top_distances[row_index, order]
+        return indices, distances

@@ -1,0 +1,63 @@
+"""Vectorized distance kernels used by the ANN indexes and the pruning stage.
+
+The paper uses cosine distance in the merging phase and euclidean distance in
+the pruning phase; both are provided in pairwise (matrix) and point-to-set
+forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+METRICS = ("cosine", "euclidean")
+
+
+def _check_metric(metric: str) -> None:
+    if metric not in METRICS:
+        raise ConfigurationError(f"unknown metric {metric!r}; choose from {METRICS}")
+
+
+def cosine_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise cosine distance between rows of ``a`` and rows of ``b``.
+
+    Rows need not be normalized; zero rows get distance 1 to everything.
+    """
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    a_norm = np.linalg.norm(a, axis=1, keepdims=True)
+    b_norm = np.linalg.norm(b, axis=1, keepdims=True)
+    a_norm[a_norm == 0] = 1.0
+    b_norm[b_norm == 0] = 1.0
+    similarity = (a / a_norm) @ (b / b_norm).T
+    return np.clip(1.0 - similarity, 0.0, 2.0)
+
+
+def euclidean_distance_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise euclidean distance between rows of ``a`` and rows of ``b``."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    a_sq = (a * a).sum(axis=1)[:, None]
+    b_sq = (b * b).sum(axis=1)[None, :]
+    squared = a_sq + b_sq - 2.0 * (a @ b.T)
+    np.maximum(squared, 0.0, out=squared)
+    return np.sqrt(squared)
+
+
+def distance_matrix(a: np.ndarray, b: np.ndarray, metric: str = "cosine") -> np.ndarray:
+    """Pairwise distances under the named metric."""
+    _check_metric(metric)
+    if metric == "cosine":
+        return cosine_distance_matrix(a, b)
+    return euclidean_distance_matrix(a, b)
+
+
+def pairwise_distances(vectors: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Symmetric distance matrix among rows of one matrix."""
+    return distance_matrix(vectors, vectors, metric)
+
+
+def point_distances(query: np.ndarray, points: np.ndarray, metric: str = "cosine") -> np.ndarray:
+    """Distances from a single query vector to every row of ``points``."""
+    return distance_matrix(query[None, :], points, metric)[0]

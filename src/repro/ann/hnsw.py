@@ -1,0 +1,224 @@
+"""Hierarchical Navigable Small World (HNSW) index, implemented from scratch.
+
+The paper merges tables with mutual top-K searches over an HNSW index
+(hnswlib). hnswlib is unavailable offline, so this module reimplements the
+algorithm of Malkov & Yashunin (TPAMI 2020): a multi-layer proximity graph
+where upper layers are sparse "express lanes" and layer 0 holds every point.
+
+Insertion:
+    1. sample a level for the new point from a geometric distribution,
+    2. greedily descend from the entry point through layers above that level,
+    3. at each layer at or below it, run an ef-bounded best-first search,
+       connect to the closest ``M`` neighbours, and prune neighbour lists.
+
+Search: greedy descent to layer 1, then an ef-bounded best-first search on
+layer 0, returning the best ``k`` candidates found.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from ..exceptions import IndexError_
+from .base import NearestNeighborIndex
+from .distances import distance_matrix
+
+
+class HNSWIndex(NearestNeighborIndex):
+    """Approximate top-K search with a navigable small-world graph.
+
+    Args:
+        metric: ``"cosine"`` or ``"euclidean"``.
+        max_degree: ``M`` — max neighbours per node on upper layers (layer 0
+            allows ``2 * M``).
+        ef_construction: candidate-list size during insertion.
+        ef_search: candidate-list size during queries (raised to ``k`` when a
+            query asks for more than ``ef_search`` neighbours).
+        seed: level-sampling seed, making index construction deterministic.
+    """
+
+    def __init__(
+        self,
+        metric: str = "cosine",
+        max_degree: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(metric)
+        if max_degree < 2:
+            raise IndexError_("max_degree must be >= 2")
+        if ef_construction < 1 or ef_search < 1:
+            raise IndexError_("ef parameters must be >= 1")
+        self.max_degree = max_degree
+        self.ef_construction = ef_construction
+        self.ef_search = ef_search
+        self.seed = seed
+        self._level_mult = 1.0 / math.log(max_degree)
+        self._graph: list[list[dict[int, float]]] = []  # graph[layer][node] -> {neighbor: dist}
+        self._node_levels: list[int] = []
+        self._entry_point: int | None = None
+        self._max_level: int = -1
+
+    # ------------------------------------------------------------- distances
+    def _distance(self, i: int, vector: np.ndarray) -> float:
+        vectors = self._require_built()
+        return float(distance_matrix(vector[None, :], vectors[i][None, :], self.metric)[0, 0])
+
+    def _distances_to(self, nodes: list[int], vector: np.ndarray) -> np.ndarray:
+        vectors = self._require_built()
+        return distance_matrix(vector[None, :], vectors[nodes], self.metric)[0]
+
+    # ----------------------------------------------------------- layer search
+    def _search_layer(
+        self, query: np.ndarray, entry_points: list[tuple[float, int]], ef: int, layer: int
+    ) -> list[tuple[float, int]]:
+        """ef-bounded best-first search on one layer.
+
+        Args:
+            query: query vector.
+            entry_points: initial ``(distance, node)`` candidates.
+            ef: size of the dynamic candidate list.
+            layer: which graph layer to traverse.
+
+        Returns:
+            Up to ``ef`` best ``(distance, node)`` pairs, unsorted.
+        """
+        visited = {node for _, node in entry_points}
+        candidates = list(entry_points)  # min-heap on distance
+        heapq.heapify(candidates)
+        # max-heap (negated distances) of the current best ef results
+        results = [(-dist, node) for dist, node in entry_points]
+        heapq.heapify(results)
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            worst = -results[0][0] if results else math.inf
+            if dist > worst and len(results) >= ef:
+                break
+            neighbors = [n for n in self._graph[layer][node] if n not in visited]
+            if not neighbors:
+                continue
+            visited.update(neighbors)
+            neighbor_dists = self._distances_to(neighbors, query)
+            for neighbor, neighbor_dist in zip(neighbors, neighbor_dists):
+                neighbor_dist = float(neighbor_dist)
+                worst = -results[0][0] if results else math.inf
+                if len(results) < ef or neighbor_dist < worst:
+                    heapq.heappush(candidates, (neighbor_dist, neighbor))
+                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return [(-negated, node) for negated, node in results]
+
+    # ----------------------------------------------------- neighbour selection
+    def _select_neighbors(self, candidates: list[tuple[float, int]], m: int) -> list[tuple[float, int]]:
+        """Simple neighbour selection: keep the ``m`` closest candidates."""
+        return sorted(candidates)[:m]
+
+    def _connect(self, node: int, neighbors: list[tuple[float, int]], layer: int, m: int) -> None:
+        """Bidirectionally connect ``node`` and prune overfull neighbour lists."""
+        graph_layer = self._graph[layer]
+        graph_layer[node] = {neighbor: dist for dist, neighbor in neighbors}
+        for dist, neighbor in neighbors:
+            links = graph_layer[neighbor]
+            links[node] = dist
+            if len(links) > m:
+                pruned = sorted(links.items(), key=lambda item: item[1])[:m]
+                graph_layer[neighbor] = dict(pruned)
+
+    # ------------------------------------------------------------------ build
+    def build(self, vectors: np.ndarray) -> "HNSWIndex":
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise IndexError_("expected a 2-d array of vectors")
+        self._vectors = vectors
+        self._graph = []
+        self._node_levels = []
+        self._entry_point = None
+        self._max_level = -1
+        rng = np.random.default_rng(self.seed)
+        for node in range(vectors.shape[0]):
+            self._insert(node, vectors[node], rng)
+        return self
+
+    def _ensure_layers(self, level: int) -> None:
+        while len(self._graph) <= level:
+            self._graph.append([dict() for _ in range(len(self._node_levels))])
+
+    def _insert(self, node: int, vector: np.ndarray, rng: np.random.Generator) -> None:
+        level = int(-math.log(max(rng.random(), 1e-12)) * self._level_mult)
+        self._node_levels.append(level)
+        for layer in range(len(self._graph)):
+            self._graph[layer].append(dict())
+        self._ensure_layers(level)
+
+        if self._entry_point is None:
+            self._entry_point = node
+            self._max_level = level
+            return
+
+        entry = self._entry_point
+        entry_dist = self._distance(entry, vector)
+        # Greedy descent through layers above the new node's level.
+        for layer in range(self._max_level, level, -1):
+            changed = True
+            while changed:
+                changed = False
+                neighbors = list(self._graph[layer][entry])
+                if not neighbors:
+                    break
+                dists = self._distances_to(neighbors, vector)
+                best = int(np.argmin(dists))
+                if float(dists[best]) < entry_dist:
+                    entry, entry_dist = neighbors[best], float(dists[best])
+                    changed = True
+        # Insert on every layer at or below the node's level.
+        entry_points = [(entry_dist, entry)]
+        for layer in range(min(level, self._max_level), -1, -1):
+            candidates = self._search_layer(vector, entry_points, self.ef_construction, layer)
+            m = self.max_degree * 2 if layer == 0 else self.max_degree
+            neighbors = self._select_neighbors(candidates, m)
+            self._connect(node, neighbors, layer, m)
+            entry_points = candidates
+        if level > self._max_level:
+            self._max_level = level
+            self._entry_point = node
+
+    # ------------------------------------------------------------------ query
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        vectors = self._require_built()
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        queries = np.asarray(queries, dtype=np.float32)
+        num_queries = queries.shape[0]
+        indices = np.full((num_queries, k), -1, dtype=np.int64)
+        distances = np.full((num_queries, k), np.inf, dtype=np.float64)
+        if self._entry_point is None:
+            return indices, distances
+        ef = max(self.ef_search, k)
+        for row in range(num_queries):
+            query = queries[row]
+            entry = self._entry_point
+            entry_dist = self._distance(entry, query)
+            for layer in range(self._max_level, 0, -1):
+                changed = True
+                while changed:
+                    changed = False
+                    neighbors = list(self._graph[layer][entry])
+                    if not neighbors:
+                        break
+                    dists = self._distances_to(neighbors, query)
+                    best = int(np.argmin(dists))
+                    if float(dists[best]) < entry_dist:
+                        entry, entry_dist = neighbors[best], float(dists[best])
+                        changed = True
+            found = self._search_layer(query, [(entry_dist, entry)], ef, 0)
+            found.sort()
+            idx, dist = self._pad([n for _, n in found], [d for d, _ in found], k)
+            indices[row] = idx
+            distances[row] = dist
+        del vectors
+        return indices, distances

@@ -1,0 +1,96 @@
+"""Random-hyperplane locality-sensitive hashing index.
+
+A lighter-weight alternative ANN backend: vectors are bucketed by the sign
+pattern of random hyperplane projections; queries probe their own bucket (and
+optionally neighbouring buckets at Hamming distance 1) and re-rank candidates
+exactly. Useful for the design-ablation benchmark comparing ANN backends.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..exceptions import IndexError_
+from .base import NearestNeighborIndex
+from .distances import distance_matrix
+
+
+class LSHIndex(NearestNeighborIndex):
+    """Sign-random-projection LSH with multi-table hashing and exact re-ranking."""
+
+    def __init__(
+        self,
+        metric: str = "cosine",
+        num_tables: int = 8,
+        num_bits: int = 12,
+        probe_neighbors: bool = True,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(metric)
+        if num_tables < 1 or num_bits < 1:
+            raise IndexError_("num_tables and num_bits must be >= 1")
+        self.num_tables = num_tables
+        self.num_bits = num_bits
+        self.probe_neighbors = probe_neighbors
+        self.seed = seed
+        self._planes: list[np.ndarray] = []
+        self._tables: list[dict[int, list[int]]] = []
+
+    def _signature(self, table: int, vectors: np.ndarray) -> np.ndarray:
+        projections = vectors @ self._planes[table].T
+        bits = (projections > 0).astype(np.int64)
+        weights = 1 << np.arange(self.num_bits, dtype=np.int64)
+        return bits @ weights
+
+    def build(self, vectors: np.ndarray) -> "LSHIndex":
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise IndexError_("expected a 2-d array of vectors")
+        self._vectors = vectors
+        rng = np.random.default_rng(self.seed)
+        dim = vectors.shape[1]
+        self._planes = [
+            rng.normal(size=(self.num_bits, dim)).astype(np.float32) for _ in range(self.num_tables)
+        ]
+        self._tables = []
+        for t in range(self.num_tables):
+            buckets: dict[int, list[int]] = defaultdict(list)
+            signatures = self._signature(t, vectors)
+            for node, signature in enumerate(signatures):
+                buckets[int(signature)].append(node)
+            self._tables.append(dict(buckets))
+        return self
+
+    def _candidates(self, table: int, signature: int) -> list[int]:
+        found = list(self._tables[table].get(signature, ()))
+        if self.probe_neighbors:
+            for bit in range(self.num_bits):
+                found.extend(self._tables[table].get(signature ^ (1 << bit), ()))
+        return found
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        vectors = self._require_built()
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        queries = np.asarray(queries, dtype=np.float32)
+        num_queries = queries.shape[0]
+        indices = np.full((num_queries, k), -1, dtype=np.int64)
+        distances = np.full((num_queries, k), np.inf, dtype=np.float64)
+        signatures = [self._signature(t, queries) for t in range(self.num_tables)]
+        for row in range(num_queries):
+            candidate_set: set[int] = set()
+            for t in range(self.num_tables):
+                candidate_set.update(self._candidates(t, int(signatures[t][row])))
+            if not candidate_set:
+                continue
+            candidates = sorted(candidate_set)
+            dists = distance_matrix(queries[row][None, :], vectors[candidates], self.metric)[0]
+            order = np.argsort(dists)[:k]
+            idx, dist = self._pad(
+                [candidates[i] for i in order], [float(dists[i]) for i in order], k
+            )
+            indices[row] = idx
+            distances[row] = dist
+        return indices, distances

@@ -1,0 +1,131 @@
+"""Mutual top-K search between two sets of vectors (Eq. 1 of the paper).
+
+The two-table merging strategy accepts a pair ``(e, e')`` only when each is in
+the other's top-K *and* their distance is at most ``m``::
+
+    P_m = {(e, e') | e ∈ topK(e') ∧ e' ∈ topK(e) ∧ dist(e, e') ≤ m}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .base import NearestNeighborIndex
+from .brute_force import BruteForceIndex
+from .hnsw import HNSWIndex
+from .lsh import LSHIndex
+
+
+@dataclass(frozen=True)
+class MutualPair:
+    """A mutually-nearest pair: row ``left`` of side A, row ``right`` of side B."""
+
+    left: int
+    right: int
+    distance: float
+
+
+def create_index(
+    backend: str,
+    metric: str,
+    *,
+    size_hint: int = 0,
+    brute_force_limit: int = 4096,
+    hnsw_max_degree: int = 16,
+    hnsw_ef_construction: int = 100,
+    hnsw_ef_search: int = 64,
+    seed: int = 0,
+) -> NearestNeighborIndex:
+    """Instantiate an ANN backend by name.
+
+    ``"auto"`` chooses brute force for small sides and HNSW for large ones,
+    matching the practical advice that graph indexes only pay off at scale.
+    """
+    if backend == "auto":
+        backend = "brute-force" if size_hint <= brute_force_limit else "hnsw"
+    if backend == "brute-force":
+        return BruteForceIndex(metric=metric)
+    if backend == "hnsw":
+        return HNSWIndex(
+            metric=metric,
+            max_degree=hnsw_max_degree,
+            ef_construction=hnsw_ef_construction,
+            ef_search=hnsw_ef_search,
+            seed=seed,
+        )
+    if backend == "lsh":
+        return LSHIndex(metric=metric, seed=seed)
+    raise ConfigurationError(f"unknown ANN backend {backend!r}")
+
+
+def top_k_pairs(
+    index: NearestNeighborIndex, queries: np.ndarray, k: int, max_distance: float
+) -> set[tuple[int, int]]:
+    """Directed top-K pairs (query_row, index_row) within ``max_distance``."""
+    indices, distances = index.query(queries, k)
+    pairs: set[tuple[int, int]] = set()
+    for query_row in range(indices.shape[0]):
+        for neighbor, distance in zip(indices[query_row], distances[query_row]):
+            if neighbor < 0 or not np.isfinite(distance):
+                continue
+            if distance <= max_distance:
+                pairs.add((query_row, int(neighbor)))
+    return pairs
+
+
+def mutual_top_k(
+    vectors_a: np.ndarray,
+    vectors_b: np.ndarray,
+    *,
+    k: int = 1,
+    max_distance: float = 0.35,
+    metric: str = "cosine",
+    backend: str = "auto",
+    brute_force_limit: int = 4096,
+    index_kwargs: dict | None = None,
+) -> list[MutualPair]:
+    """Find all mutual top-K pairs between two vector sets (Eq. 1).
+
+    Args:
+        vectors_a: ``(n_a, d)`` matrix for the left table.
+        vectors_b: ``(n_b, d)`` matrix for the right table.
+        k: neighbourhood size (paper default 1).
+        max_distance: the threshold ``m``.
+        metric: distance metric.
+        backend: ANN backend name (``"auto"``, ``"brute-force"``, ``"hnsw"``,
+            ``"lsh"``).
+        brute_force_limit: size cut-off for the ``"auto"`` backend.
+        index_kwargs: extra keyword arguments for :func:`create_index`.
+
+    Returns:
+        List of :class:`MutualPair`, sorted by distance ascending.
+    """
+    if vectors_a.shape[0] == 0 or vectors_b.shape[0] == 0:
+        return []
+    kwargs = dict(index_kwargs or {})
+    index_b = create_index(
+        backend, metric, size_hint=vectors_b.shape[0], brute_force_limit=brute_force_limit, **kwargs
+    ).build(vectors_b)
+    index_a = create_index(
+        backend, metric, size_hint=vectors_a.shape[0], brute_force_limit=brute_force_limit, **kwargs
+    ).build(vectors_a)
+
+    forward = top_k_pairs(index_b, vectors_a, k, max_distance)  # a -> b
+    backward = top_k_pairs(index_a, vectors_b, k, max_distance)  # b -> a
+    mutual = forward & {(a, b) for b, a in backward}
+    if not mutual:
+        return []
+    lefts = np.array([a for a, _ in mutual])
+    rights = np.array([b for _, b in mutual])
+    from .distances import distance_matrix  # local import to avoid cycle at module load
+
+    dists = distance_matrix(vectors_a[lefts], vectors_b[rights], metric)
+    pairs = [
+        MutualPair(int(left), int(right), float(dists[i, i]))
+        for i, (left, right) in enumerate(zip(lefts, rights))
+    ]
+    pairs.sort(key=lambda p: (p.distance, p.left, p.right))
+    return pairs

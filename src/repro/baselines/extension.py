@@ -1,0 +1,39 @@
+"""Extension from matched pairs to matched tuples (Algorithm 5).
+
+Two-table EM methods output matched *pairs*; the multi-table setting is
+evaluated on matched *tuples*. Algorithm 5 converts pairs to tuples by taking,
+for every entity, the set of entities it is (transitively) matched with —
+which is exactly the connected component of the pair graph containing it.
+This conversion is where transitive conflicts surface: one wrong pair can
+glue two otherwise-correct tuples together.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..clustering.connected_components import match_groups
+from ..data.dataset import MatchTuple
+from ..data.entity import EntityRef
+
+
+def pairs_to_tuples(pairs: Iterable[tuple[EntityRef, EntityRef]]) -> set[MatchTuple]:
+    """Algorithm 5: group matched pairs into matched tuples.
+
+    Every connected component of the pair graph with at least two members
+    becomes one predicted tuple.
+    """
+    groups = match_groups(pairs, min_size=2)
+    return {frozenset(group) for group in groups}
+
+
+def tuples_from_pair_lists(pair_lists: Iterable[Iterable[tuple[EntityRef, EntityRef]]]) -> set[MatchTuple]:
+    """Union several per-table-pair match lists, then convert to tuples.
+
+    Pairwise and chain matching both produce one pair list per two-table run;
+    the union of those lists feeds Algorithm 5.
+    """
+    all_pairs: list[tuple[EntityRef, EntityRef]] = []
+    for pair_list in pair_lists:
+        all_pairs.extend(pair_list)
+    return pairs_to_tuples(all_pairs)

@@ -1,0 +1,11 @@
+"""Blocking substrate: token blocking and embedding-neighbourhood blocking."""
+
+from .neighborhood import NeighborhoodBlockingResult, neighborhood_candidates
+from .token_blocking import BlockingStats, TokenBlocker
+
+__all__ = [
+    "TokenBlocker",
+    "BlockingStats",
+    "neighborhood_candidates",
+    "NeighborhoodBlockingResult",
+]

@@ -1,0 +1,163 @@
+"""Command-line interface for the MultiEM reproduction.
+
+Subcommands:
+
+* ``generate`` — write a synthetic benchmark dataset to a directory of CSVs;
+* ``match``    — run MultiEM on a benchmark name or a dataset directory and
+  write the predicted groups as JSON;
+* ``evaluate`` — score a predictions file against a labeled dataset;
+* ``report``   — regenerate one of the paper's tables (3, 4, 5, 6, 7).
+
+Examples::
+
+    python -m repro.cli generate music-20 --profile tiny --output ./music20
+    python -m repro.cli match ./music20 --output predictions.json
+    python -m repro.cli evaluate ./music20 predictions.json
+    python -m repro.cli report table7 --datasets geo music-20 --profile tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .config import paper_default_config
+from .core import MultiEM
+from .data import EntityRef, load_dataset, save_dataset
+from .data.dataset import MultiTableDataset
+from .data.generators import DATASET_NAMES, load_benchmark
+from .data.io import refs_to_json
+from .evaluation import evaluate_tuples, format_table
+from .exceptions import ReproError
+
+
+def _load_any_dataset(spec: str, profile: str, seed: int) -> MultiTableDataset:
+    """Load either a registered benchmark name or a dataset directory."""
+    if spec in DATASET_NAMES or spec == "product":
+        return load_benchmark(spec, profile=profile, seed=seed)
+    path = Path(spec)
+    if path.is_dir():
+        return load_dataset(path)
+    raise ReproError(f"{spec!r} is neither a registered benchmark nor a dataset directory")
+
+
+def _read_predictions(path: Path) -> set[frozenset[EntityRef]]:
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {
+        frozenset(EntityRef(source, int(index)) for source, index in group) for group in payload
+    }
+
+
+# ------------------------------------------------------------------ commands
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = load_benchmark(args.dataset, profile=args.profile, seed=args.seed)
+    directory = save_dataset(dataset, args.output)
+    print(f"wrote {dataset.num_entities} entities across {dataset.num_sources} tables to {directory}")
+    return 0
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    dataset = _load_any_dataset(args.dataset, args.profile, args.seed)
+    config = paper_default_config(dataset.name, parallel=args.parallel)
+    if args.m is not None:
+        config = config.with_overrides(merging={"m": args.m})
+    if args.epsilon is not None:
+        config = config.with_overrides(pruning={"epsilon": args.epsilon})
+    result = MultiEM(config).match(dataset)
+    print(f"selected attributes: {', '.join(result.selected_attributes)}")
+    print(f"predicted tuples:    {result.num_tuples}")
+    print(f"total time:          {result.timings.total:.2f}s")
+    if args.output:
+        Path(args.output).write_text(json.dumps(refs_to_json(result.tuples), indent=2), encoding="utf-8")
+        print(f"predictions written to {args.output}")
+    if dataset.ground_truth:
+        report = evaluate_tuples(result.tuples, dataset, method="MultiEM")
+        print(f"tuple F1 = {report.f1:.1f}   pair-F1 = {report.pair_f1:.1f}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    dataset = _load_any_dataset(args.dataset, args.profile, args.seed)
+    predictions = _read_predictions(Path(args.predictions))
+    report = evaluate_tuples(predictions, dataset, method=args.method)
+    print(format_table([report.as_row()]))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments import (
+        table3_dataset_statistics,
+        table4_effectiveness,
+        table5_runtime,
+        table6_memory,
+        table7_selected_attributes,
+    )
+
+    builders = {
+        "table3": table3_dataset_statistics,
+        "table4": table4_effectiveness,
+        "table5": table5_runtime,
+        "table6": table6_memory,
+        "table7": table7_selected_attributes,
+    }
+    builder = builders.get(args.table)
+    if builder is None:
+        raise ReproError(f"unknown report {args.table!r}; choose from {sorted(builders)}")
+    rows = builder(tuple(args.datasets), profile=args.profile)
+    print(format_table(rows, title=f"{args.table} (profile={args.profile})"))
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write a synthetic benchmark to disk")
+    generate.add_argument("dataset", choices=list(DATASET_NAMES) + ["product"])
+    generate.add_argument("--profile", default="tiny", choices=("tiny", "bench", "paper"))
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    match = sub.add_parser("match", help="run MultiEM on a benchmark or dataset directory")
+    match.add_argument("dataset", help="benchmark name or dataset directory")
+    match.add_argument("--profile", default="tiny", choices=("tiny", "bench", "paper"))
+    match.add_argument("--seed", type=int, default=0)
+    match.add_argument("--parallel", action="store_true")
+    match.add_argument("--m", type=float, default=None, help="merging distance threshold")
+    match.add_argument("--epsilon", type=float, default=None, help="pruning radius")
+    match.add_argument("--output", default=None, help="write predicted groups to this JSON file")
+    match.set_defaults(func=_cmd_match)
+
+    evaluate_cmd = sub.add_parser("evaluate", help="score a predictions JSON file")
+    evaluate_cmd.add_argument("dataset", help="benchmark name or dataset directory")
+    evaluate_cmd.add_argument("predictions", help="JSON file written by `match --output`")
+    evaluate_cmd.add_argument("--profile", default="tiny", choices=("tiny", "bench", "paper"))
+    evaluate_cmd.add_argument("--seed", type=int, default=0)
+    evaluate_cmd.add_argument("--method", default="custom")
+    evaluate_cmd.set_defaults(func=_cmd_evaluate)
+
+    report = sub.add_parser("report", help="regenerate one of the paper's tables")
+    report.add_argument("table", choices=("table3", "table4", "table5", "table6", "table7"))
+    report.add_argument("--datasets", nargs="+", default=["geo", "music-20"])
+    report.add_argument("--profile", default="tiny", choices=("tiny", "bench", "paper"))
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

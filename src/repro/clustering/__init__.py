@@ -1,0 +1,26 @@
+"""Clustering substrate: union-find, DBSCAN, HAC, affinity propagation, components."""
+
+from .affinity_propagation import AffinityPropagationResult, affinity_propagation
+from .connected_components import (
+    connected_components_networkx,
+    connected_components_unionfind,
+    match_groups,
+)
+from .dbscan import NOISE, DBSCANResult, dbscan
+from .hierarchical import LINKAGES, AgglomerativeResult, agglomerative_clustering
+from .union_find import UnionFind
+
+__all__ = [
+    "UnionFind",
+    "dbscan",
+    "DBSCANResult",
+    "NOISE",
+    "agglomerative_clustering",
+    "AgglomerativeResult",
+    "LINKAGES",
+    "affinity_propagation",
+    "AffinityPropagationResult",
+    "connected_components_unionfind",
+    "connected_components_networkx",
+    "match_groups",
+]

@@ -1,0 +1,51 @@
+"""Connected components over match-pair graphs.
+
+Algorithm 5 (extension from pairs to tuples) and the transitivity-based merge
+inside Algorithm 3 both reduce to connected components over the graph whose
+edges are matched pairs. Both a networkx-backed and a union-find-backed
+implementation are provided; they agree and the union-find one avoids building
+an explicit graph for very large pair sets.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, TypeVar
+
+import networkx as nx
+
+from .union_find import UnionFind
+
+T = TypeVar("T", bound=Hashable)
+
+
+def connected_components_unionfind(
+    pairs: Iterable[tuple[T, T]], nodes: Iterable[T] = ()
+) -> list[set[T]]:
+    """Connected components via union-find.
+
+    Args:
+        pairs: edges of the match graph.
+        nodes: extra nodes to include even if they have no edges.
+
+    Returns:
+        List of components (singletons included for isolated nodes).
+    """
+    uf: UnionFind[T] = UnionFind(nodes)
+    for a, b in pairs:
+        uf.union(a, b)
+    return uf.groups()
+
+
+def connected_components_networkx(
+    pairs: Iterable[tuple[T, T]], nodes: Iterable[T] = ()
+) -> list[set[T]]:
+    """Connected components via networkx (reference implementation)."""
+    graph: nx.Graph = nx.Graph()
+    graph.add_nodes_from(nodes)
+    graph.add_edges_from(pairs)
+    return [set(component) for component in nx.connected_components(graph)]
+
+
+def match_groups(pairs: Iterable[tuple[T, T]], min_size: int = 2) -> list[set[T]]:
+    """Components of the match graph with at least ``min_size`` members."""
+    return [group for group in connected_components_unionfind(pairs) if len(group) >= min_size]

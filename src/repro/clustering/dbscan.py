@@ -1,0 +1,92 @@
+"""DBSCAN density clustering (Ester et al., KDD 1996), from scratch.
+
+The paper's pruning phase follows "the efficient implementation of DBSCAN in
+scikit-learn"; this module provides an equivalent implementation plus the
+label semantics (core / border / noise) that Algorithm 4 specializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..ann.distances import pairwise_distances
+
+#: Label assigned to noise points.
+NOISE = -1
+
+
+@dataclass(frozen=True)
+class DBSCANResult:
+    """Clustering outcome.
+
+    Attributes:
+        labels: cluster id per point (``NOISE`` = -1 for noise points).
+        core_mask: boolean mask of core points.
+    """
+
+    labels: np.ndarray
+    core_mask: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters found (noise excluded)."""
+        unique = set(int(v) for v in self.labels if v != NOISE)
+        return len(unique)
+
+
+def dbscan(
+    vectors: np.ndarray,
+    epsilon: float,
+    min_pts: int,
+    metric: str = "euclidean",
+    precomputed_distances: np.ndarray | None = None,
+) -> DBSCANResult:
+    """Run DBSCAN over row vectors.
+
+    Args:
+        vectors: ``(n, d)`` matrix (ignored when distances are precomputed,
+            except for its row count).
+        epsilon: neighbourhood radius ε.
+        min_pts: minimum neighbourhood size (including the point itself) for a
+            point to be a core point.
+        metric: distance metric when distances are computed here.
+        precomputed_distances: optional ``(n, n)`` distance matrix.
+
+    Returns:
+        :class:`DBSCANResult` with labels and the core-point mask.
+    """
+    if epsilon <= 0:
+        raise ConfigurationError("epsilon must be positive")
+    if min_pts < 1:
+        raise ConfigurationError("min_pts must be >= 1")
+    vectors = np.asarray(vectors, dtype=np.float32)
+    n = vectors.shape[0]
+    if n == 0:
+        return DBSCANResult(np.empty(0, dtype=np.int64), np.empty(0, dtype=bool))
+    distances = (
+        np.asarray(precomputed_distances, dtype=np.float64)
+        if precomputed_distances is not None
+        else pairwise_distances(vectors, metric)
+    )
+    neighbor_lists = [np.flatnonzero(distances[i] <= epsilon) for i in range(n)]
+    core_mask = np.array([len(neighbors) >= min_pts for neighbors in neighbor_lists])
+
+    labels = np.full(n, NOISE, dtype=np.int64)
+    cluster = 0
+    for seed_point in range(n):
+        if labels[seed_point] != NOISE or not core_mask[seed_point]:
+            continue
+        # Breadth-first expansion from a fresh core point.
+        labels[seed_point] = cluster
+        frontier = list(neighbor_lists[seed_point])
+        while frontier:
+            point = int(frontier.pop())
+            if labels[point] == NOISE:
+                labels[point] = cluster
+                if core_mask[point]:
+                    frontier.extend(int(p) for p in neighbor_lists[point] if labels[p] == NOISE)
+        cluster += 1
+    return DBSCANResult(labels=labels, core_mask=core_mask)

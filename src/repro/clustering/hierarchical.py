@@ -1,0 +1,117 @@
+"""Agglomerative hierarchical clustering (substrate for the MSCD-HAC baseline).
+
+MSCD-HAC (Saeedi et al., KEOD 2021) clusters entities from multiple clean
+sources with hierarchical agglomerative clustering. Its cubic-ish complexity
+is exactly why the paper reports it cannot finish on anything but the smallest
+dataset — this implementation deliberately preserves that scalability cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..ann.distances import pairwise_distances
+
+LINKAGES = ("single", "complete", "average")
+
+
+@dataclass(frozen=True)
+class AgglomerativeResult:
+    """Outcome of agglomerative clustering: one label per input row."""
+
+    labels: np.ndarray
+
+    @property
+    def num_clusters(self) -> int:
+        return len(set(int(v) for v in self.labels))
+
+    def clusters(self) -> list[list[int]]:
+        """Clusters as lists of row indices, sorted by smallest member."""
+        by_label: dict[int, list[int]] = {}
+        for row, label in enumerate(self.labels):
+            by_label.setdefault(int(label), []).append(row)
+        return sorted(by_label.values(), key=lambda members: members[0])
+
+
+def agglomerative_clustering(
+    vectors: np.ndarray,
+    *,
+    distance_threshold: float,
+    linkage: str = "average",
+    metric: str = "cosine",
+    constraint: "callable | None" = None,
+    precomputed_distances: np.ndarray | None = None,
+) -> AgglomerativeResult:
+    """Bottom-up clustering that merges the closest pair until the threshold.
+
+    Args:
+        vectors: ``(n, d)`` row vectors.
+        distance_threshold: stop merging once the closest pair of clusters is
+            farther than this.
+        linkage: ``"single"``, ``"complete"`` or ``"average"``.
+        metric: distance metric.
+        constraint: optional ``f(cluster_a_members, cluster_b_members) -> bool``
+            vetoing merges (MSCD uses it to forbid two records from the same
+            clean source ending up in one cluster).
+        precomputed_distances: optional ``(n, n)`` distance matrix.
+
+    Returns:
+        :class:`AgglomerativeResult` with contiguous cluster labels.
+    """
+    if linkage not in LINKAGES:
+        raise ConfigurationError(f"unknown linkage {linkage!r}; choose from {LINKAGES}")
+    vectors = np.asarray(vectors, dtype=np.float32)
+    n = vectors.shape[0]
+    if n == 0:
+        return AgglomerativeResult(np.empty(0, dtype=np.int64))
+    distances = (
+        np.asarray(precomputed_distances, dtype=np.float64).copy()
+        if precomputed_distances is not None
+        else pairwise_distances(vectors, metric).astype(np.float64)
+    )
+    np.fill_diagonal(distances, np.inf)
+
+    members: dict[int, list[int]] = {i: [i] for i in range(n)}
+    active = set(range(n))
+
+    while len(active) > 1:
+        active_list = sorted(active)
+        sub = distances[np.ix_(active_list, active_list)]
+        flat = int(np.argmin(sub))
+        i_pos, j_pos = divmod(flat, len(active_list))
+        best = float(sub[i_pos, j_pos])
+        if not np.isfinite(best) or best > distance_threshold:
+            break
+        a, b = active_list[i_pos], active_list[j_pos]
+        if constraint is not None and not constraint(members[a], members[b]):
+            # Veto this merge permanently.
+            distances[a, b] = distances[b, a] = np.inf
+            continue
+        # Merge b into a, updating linkage distances (Lance-Williams style).
+        size_a, size_b = len(members[a]), len(members[b])
+        for other in active:
+            if other in (a, b):
+                continue
+            if linkage == "single":
+                new_dist = min(distances[a, other], distances[b, other])
+            elif linkage == "complete":
+                new_dist = max(distances[a, other], distances[b, other])
+            else:
+                new_dist = (
+                    size_a * distances[a, other] + size_b * distances[b, other]
+                ) / (size_a + size_b)
+            distances[a, other] = distances[other, a] = new_dist
+        members[a].extend(members[b])
+        del members[b]
+        active.discard(b)
+        distances[b, :] = np.inf
+        distances[:, b] = np.inf
+
+    labels = np.empty(n, dtype=np.int64)
+    for label, root in enumerate(sorted(members)):
+        for row in members[root]:
+            labels[row] = label
+    return AgglomerativeResult(labels=labels)

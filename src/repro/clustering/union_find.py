@@ -1,0 +1,69 @@
+"""Disjoint-set (union-find) structure.
+
+The merging stage unions mutually-matched items by transitivity; union-find
+makes that linear-time with path compression and union by rank. The structure
+is generic over hashable elements so it can union either row indices or
+:class:`EntityRef` objects directly.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class UnionFind(Generic[T]):
+    """Union-find over arbitrary hashable elements with path compression."""
+
+    def __init__(self, elements: Iterable[T] = ()) -> None:
+        self._parent: dict[T, T] = {}
+        self._rank: dict[T, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: T) -> None:
+        """Register ``element`` as its own singleton set (no-op if present)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def __contains__(self, element: T) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: T) -> T:
+        """Return the canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the sets containing ``a`` and ``b``; return the new root."""
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return root_a
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        return root_a
+
+    def connected(self, a: T, b: T) -> bool:
+        """Whether ``a`` and ``b`` are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> list[set[T]]:
+        """Return all sets (including singletons), in deterministic order."""
+        by_root: dict[T, set[T]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return [by_root[root] for root in sorted(by_root, key=repr)]

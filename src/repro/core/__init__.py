@@ -1,0 +1,41 @@
+"""Core MultiEM pipeline: representation, attribute selection, merging, pruning."""
+
+from .attribute_selection import AttributeSelectionResult, select_attributes
+from .incremental import IncrementalMultiEM
+from .merging import (
+    MergeItem,
+    MergeStats,
+    candidate_tuples,
+    hierarchical_merge,
+    items_from_embeddings,
+    merge_two_tables,
+)
+from .parallel import ParallelExecutor, partition
+from .pipeline import MultiEM
+from .pruning import EntityClassification, classify_entities, prune_item, prune_items
+from .representation import EntityRepresenter, TableEmbeddings
+from .result import MatchResult, StageTimings, tuples_to_pairs
+
+__all__ = [
+    "MultiEM",
+    "IncrementalMultiEM",
+    "MatchResult",
+    "StageTimings",
+    "tuples_to_pairs",
+    "EntityRepresenter",
+    "TableEmbeddings",
+    "AttributeSelectionResult",
+    "select_attributes",
+    "MergeItem",
+    "MergeStats",
+    "merge_two_tables",
+    "hierarchical_merge",
+    "items_from_embeddings",
+    "candidate_tuples",
+    "EntityClassification",
+    "classify_entities",
+    "prune_item",
+    "prune_items",
+    "ParallelExecutor",
+    "partition",
+]

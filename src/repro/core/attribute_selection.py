@@ -1,0 +1,119 @@
+"""Automated attribute selection (Algorithm 1) — the EER module.
+
+Idea (Example 1 in the paper): shuffling the values of a *significant*
+attribute (e.g. ``album``) changes the entity embeddings much more than
+shuffling an insignificant one (e.g. ``id``). The algorithm therefore scores
+each attribute by how much the embeddings move when that column is shuffled
+and keeps only the attributes whose impact is large enough.
+
+Note on the threshold semantics: the paper's pseudo-code writes
+``sim <- distance(H, H')`` and keeps the attribute when ``sim >= gamma``,
+while Example 1 reports cosine *similarities* (0.91 for the insignificant
+``id``, 0.79 for the significant ``album``) and γ is drawn from {0.8, 0.9}.
+The only reading consistent with the example and with the stated goal
+("select more significant attributes") is: keep an attribute when the mean
+*similarity* between original and shuffled embeddings is **at most** γ —
+equivalently, when the mean cosine distance (the significance score reported
+here) is at least ``1 - γ``. That is what this module implements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import RepresentationConfig
+from ..data.dataset import MultiTableDataset
+from ..data.serialization import serialize_table
+from ..data.table import Table
+from .representation import EntityRepresenter
+
+
+@dataclass
+class AttributeSelectionResult:
+    """Outcome of Algorithm 1.
+
+    Attributes:
+        selected: attributes kept, in schema order. Never empty — if no
+            attribute clears the threshold the most significant one is kept,
+            so downstream serialization always has text to work with.
+        scores: per-attribute significance (mean cosine distance between
+            original and column-shuffled embeddings; higher = more significant).
+        gamma: the similarity threshold used.
+        sample_size: how many rows were scored.
+        elapsed_seconds: wall-clock cost of the selection.
+    """
+
+    selected: tuple[str, ...]
+    scores: dict[str, float] = field(default_factory=dict)
+    gamma: float = 0.9
+    sample_size: int = 0
+    elapsed_seconds: float = 0.0
+
+
+def select_attributes(
+    dataset: MultiTableDataset,
+    representer: EntityRepresenter,
+    config: RepresentationConfig | None = None,
+) -> AttributeSelectionResult:
+    """Run Algorithm 1 over a dataset.
+
+    Args:
+        dataset: the multi-table dataset (all tables share a schema).
+        representer: representer whose encoder scores the perturbations; the
+            encoder is fitted on the sampled corpus if it was not fitted yet.
+        config: representation configuration (γ, sample ratio, seed); falls
+            back to the representer's own configuration.
+
+    Returns:
+        :class:`AttributeSelectionResult` with the kept attributes and scores.
+    """
+    config = config or representer.config
+    started = time.perf_counter()
+    rng = np.random.default_rng(config.seed)
+
+    # Line 1: concatenate all tables; Line 2: sample rows.
+    combined = Table.concat(dataset.table_list(), name="__combined__")
+    sampled = combined.sample(config.sample_ratio, rng)
+    schema = sampled.schema
+
+    # Single-attribute schemas have nothing to select between.
+    if len(schema) == 1:
+        elapsed = time.perf_counter() - started
+        return AttributeSelectionResult(
+            selected=schema, scores={schema[0]: 1.0}, gamma=config.gamma,
+            sample_size=len(sampled), elapsed_seconds=elapsed,
+        )
+
+    # Line 3: initial embeddings of the sampled rows.
+    base_texts = serialize_table(sampled, max_tokens=config.max_sequence_length)
+    representer.encoder.fit(base_texts)
+    base_embeddings = representer.encode_texts(base_texts)
+
+    # Lines 5-11: per-attribute shuffle, re-embed, score.
+    scores: dict[str, float] = {}
+    for attribute in schema:
+        shuffled = sampled.with_column_shuffled(attribute, rng)
+        shuffled_texts = serialize_table(shuffled, max_tokens=config.max_sequence_length)
+        shuffled_embeddings = representer.encode_texts(shuffled_texts)
+        similarity = np.einsum("ij,ij->i", base_embeddings, shuffled_embeddings)
+        scores[attribute] = float(np.mean(1.0 - similarity))
+
+    threshold = 1.0 - config.gamma
+    selected = tuple(a for a in schema if scores[a] >= threshold)
+    if not selected:
+        # Degenerate case: keep the single most significant attribute so the
+        # representation stage never serializes empty strings.
+        best = max(schema, key=lambda a: scores[a])
+        selected = (best,)
+
+    elapsed = time.perf_counter() - started
+    return AttributeSelectionResult(
+        selected=selected,
+        scores=scores,
+        gamma=config.gamma,
+        sample_size=len(sampled),
+        elapsed_seconds=elapsed,
+    )

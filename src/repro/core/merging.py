@@ -1,0 +1,194 @@
+"""Table-wise hierarchical merging (Algorithms 2 and 3).
+
+The merging stage treats every table as a list of :class:`MergeItem` objects
+(initially one item per record). Two tables are merged by
+
+1. finding mutual top-K neighbour pairs under a distance cap ``m`` with an
+   ANN index (Eq. 1, Algorithm 3 lines 3-5),
+2. unioning the paired items by transitivity (lines 6-8), and
+3. carrying every unmatched item forward unchanged (lines 9-10).
+
+Algorithm 2 then repeats the two-table merge hierarchically — random pairs of
+tables, level by level — until a single integrated table remains. The merged
+item's representative vector is the member-count-weighted mean of its parts
+(a medoid representative is available for the design ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ann.mutual import mutual_top_k
+from ..config import MergingConfig
+from ..data.entity import EntityRef
+from ..embedding.base import normalize_rows
+from ..embedding.pooling import medoid_pool
+from .parallel import ParallelExecutor
+from .representation import TableEmbeddings
+
+
+@dataclass
+class MergeItem:
+    """A (possibly merged) item: a group of entity refs plus a representative vector."""
+
+    members: tuple[EntityRef, ...]
+    vector: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class MergeStats:
+    """Diagnostics collected across the hierarchy (useful for tests and docs)."""
+
+    levels: int = 0
+    pair_merges: int = 0
+    matched_pairs_per_level: list[int] = field(default_factory=list)
+
+
+def items_from_embeddings(embeddings: TableEmbeddings) -> list[MergeItem]:
+    """Wrap each record of a table as a singleton merge item."""
+    return [
+        MergeItem(members=(ref,), vector=vector)
+        for ref, vector in zip(embeddings.refs, embeddings.vectors)
+    ]
+
+
+def _representative_vector(items: list[MergeItem], strategy: str) -> np.ndarray:
+    """Representative vector of a merged group of items."""
+    stacked = np.stack([item.vector for item in items])
+    if strategy == "medoid":
+        pooled = medoid_pool(stacked)
+    else:
+        weights = np.array([item.size for item in items], dtype=np.float32)
+        pooled = (weights[:, None] * stacked).sum(axis=0) / float(weights.sum())
+    return normalize_rows(pooled[None, :])[0]
+
+
+def merge_two_tables(
+    left: list[MergeItem],
+    right: list[MergeItem],
+    config: MergingConfig,
+    *,
+    representative: str = "mean",
+) -> tuple[list[MergeItem], int]:
+    """Algorithm 3: merge two item tables into one.
+
+    Returns:
+        ``(merged_items, num_matched_pairs)`` — the merged table and how many
+        mutual pairs were accepted (diagnostic).
+    """
+    if not left:
+        return list(right), 0
+    if not right:
+        return list(left), 0
+    left_vectors = np.stack([item.vector for item in left])
+    right_vectors = np.stack([item.vector for item in right])
+    pairs = mutual_top_k(
+        left_vectors,
+        right_vectors,
+        k=config.k,
+        max_distance=config.m,
+        metric=config.metric,
+        backend=config.index,
+        brute_force_limit=config.brute_force_limit,
+        index_kwargs={
+            "hnsw_max_degree": config.hnsw_max_degree,
+            "hnsw_ef_construction": config.hnsw_ef_construction,
+            "hnsw_ef_search": config.hnsw_ef_search,
+            "seed": config.seed,
+        },
+    )
+    # Union matched items by transitivity. Items are identified by
+    # (side, position); side 0 = left, side 1 = right.
+    parent: dict[tuple[int, int], tuple[int, int]] = {}
+
+    def find(node: tuple[int, int]) -> tuple[int, int]:
+        parent.setdefault(node, node)
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(a: tuple[int, int], b: tuple[int, int]) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    for pair in pairs:
+        union((0, pair.left), (1, pair.right))
+
+    groups: dict[tuple[int, int], list[MergeItem]] = {}
+    for side, items in ((0, left), (1, right)):
+        for position, item in enumerate(items):
+            node = (side, position)
+            if node in parent:
+                groups.setdefault(find(node), []).append(item)
+            else:
+                groups[(side, position)] = [item]
+
+    merged: list[MergeItem] = []
+    for group in groups.values():
+        if len(group) == 1:
+            merged.append(group[0])
+            continue
+        members = tuple(sorted({ref for item in group for ref in item.members}))
+        merged.append(MergeItem(members=members, vector=_representative_vector(group, representative)))
+    return merged, len(pairs)
+
+
+def hierarchical_merge(
+    tables: list[list[MergeItem]],
+    config: MergingConfig,
+    *,
+    executor: ParallelExecutor | None = None,
+    representative: str = "mean",
+) -> tuple[list[MergeItem], MergeStats]:
+    """Algorithm 2: merge all tables hierarchically until one remains.
+
+    Tables are randomly paired at every level (seeded by ``config.seed``);
+    with an odd number of tables the leftover table passes to the next level
+    untouched. Pair merges within a level are independent and are dispatched
+    through ``executor`` when one is provided.
+    """
+    executor = executor or ParallelExecutor()
+    stats = MergeStats()
+    rng = np.random.default_rng(config.seed)
+    current: list[list[MergeItem]] = [list(table) for table in tables]
+    if not current:
+        return [], stats
+    while len(current) > 1:
+        stats.levels += 1
+        order = rng.permutation(len(current))
+        pairs: list[tuple[list[MergeItem], list[MergeItem]]] = []
+        leftover: list[list[MergeItem]] = []
+        for i in range(0, len(order) - 1, 2):
+            pairs.append((current[order[i]], current[order[i + 1]]))
+        if len(order) % 2 == 1:
+            leftover.append(current[order[-1]])
+
+        merge_results = executor.map(
+            lambda pair: merge_two_tables(pair[0], pair[1], config, representative=representative),
+            pairs,
+        )
+        matched_this_level = 0
+        next_level: list[list[MergeItem]] = []
+        for merged, matched in merge_results:
+            next_level.append(merged)
+            matched_this_level += matched
+        stats.pair_merges += len(pairs)
+        stats.matched_pairs_per_level.append(matched_this_level)
+        next_level.extend(leftover)
+        current = next_level
+    return current[0], stats
+
+
+def candidate_tuples(items: list[MergeItem]) -> list[MergeItem]:
+    """Items with at least two members — the merging stage's candidate tuples."""
+    return [item for item in items if item.size >= 2]

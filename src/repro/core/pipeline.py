@@ -1,0 +1,121 @@
+"""The MultiEM pipeline: representation → hierarchical merging → pruning.
+
+This is the library's main entry point::
+
+    from repro import MultiEM, load_benchmark
+
+    dataset = load_benchmark("music-20", profile="bench")
+    result = MultiEM().match(dataset)
+    print(result.num_tuples, result.selected_attributes)
+
+The pipeline follows Figure 3 of the paper. Each stage is timed separately so
+Figure 5 (per-module running time) can be regenerated, and each module can be
+disabled for the Table IV ablations (``w/o EER`` and ``w/o DP``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import MultiEMConfig
+from ..data.dataset import MultiTableDataset
+from ..embedding.base import SentenceEncoder
+from .attribute_selection import AttributeSelectionResult, select_attributes
+from .merging import candidate_tuples, hierarchical_merge, items_from_embeddings
+from .parallel import ParallelExecutor
+from .pruning import prune_items
+from .representation import EntityRepresenter
+from .result import MatchResult, StageTimings
+
+
+class MultiEM:
+    """Unsupervised multi-table entity matcher (the paper's contribution).
+
+    Args:
+        config: pipeline configuration; defaults mirror the paper's settings.
+        encoder: optional pre-built sentence encoder (overrides the config's
+            encoder choice); useful for injecting a custom embedding model.
+    """
+
+    def __init__(self, config: MultiEMConfig | None = None, encoder: SentenceEncoder | None = None) -> None:
+        self.config = config or MultiEMConfig()
+        self.config.validate()
+        self._encoder_override = encoder
+
+    # ------------------------------------------------------------------ run
+    def match(self, dataset: MultiTableDataset) -> MatchResult:
+        """Run the full pipeline on a dataset and return the predicted tuples."""
+        timings = StageTimings()
+        executor = ParallelExecutor(self.config.parallel)
+        representer = EntityRepresenter(self.config.representation, encoder=self._encoder_override)
+
+        # Stage S: automated attribute selection (Algorithm 1). Optional —
+        # disabling it gives the "w/o EER" ablation where all attributes are
+        # serialized with the vanilla encoder.
+        selection: AttributeSelectionResult | None = None
+        schema = dataset.schema
+        if self.config.representation.attribute_selection and len(schema) > 1:
+            started = time.perf_counter()
+            selection = select_attributes(dataset, representer, self.config.representation)
+            timings.attribute_selection = time.perf_counter() - started
+            attributes: tuple[str, ...] = selection.selected
+        else:
+            attributes = schema
+
+        # Stage R: serialize and encode every table.
+        started = time.perf_counter()
+        representer.fit(dataset, attributes)
+        embeddings = representer.encode_dataset(dataset, attributes)
+        embedding_lookup = EntityRepresenter.embedding_lookup(embeddings)
+        timings.representation = time.perf_counter() - started
+
+        # Stage M: table-wise hierarchical merging (Algorithms 2-3).
+        started = time.perf_counter()
+        item_tables = [items_from_embeddings(embeddings[table.name]) for table in dataset.table_list()]
+        integrated, merge_stats = hierarchical_merge(item_tables, self.config.merging, executor=executor)
+        candidates = candidate_tuples(integrated)
+        timings.merging = time.perf_counter() - started
+
+        # Stage P: density-based pruning (Algorithm 4).
+        started = time.perf_counter()
+        pruned = prune_items(candidates, embedding_lookup, self.config.pruning, executor=executor)
+        timings.pruning = time.perf_counter() - started
+
+        tuples = {frozenset(item.members) for item in pruned if item.size >= 2}
+        method = "MultiEM (parallel)" if executor.is_parallel else "MultiEM"
+        return MatchResult(
+            tuples=tuples,
+            selected_attributes=attributes,
+            significance_scores=dict(selection.scores) if selection else {},
+            timings=timings,
+            method=method,
+            metadata={
+                "num_candidate_tuples": len(candidates),
+                "merge_levels": merge_stats.levels,
+                "merge_pair_merges": merge_stats.pair_merges,
+                "matched_pairs_per_level": list(merge_stats.matched_pairs_per_level),
+                "config": self.config,
+            },
+        )
+
+    # ------------------------------------------------------------- variants
+    def without_eer(self) -> "MultiEM":
+        """Return a copy configured as the "w/o EER" ablation."""
+        return MultiEM(
+            self.config.with_overrides(representation={"attribute_selection": False}),
+            encoder=self._encoder_override,
+        )
+
+    def without_pruning(self) -> "MultiEM":
+        """Return a copy configured as the "w/o DP" ablation."""
+        return MultiEM(
+            self.config.with_overrides(pruning={"enabled": False}),
+            encoder=self._encoder_override,
+        )
+
+    def parallelized(self, max_workers: int | None = None) -> "MultiEM":
+        """Return the MultiEM(parallel) variant of this pipeline."""
+        return MultiEM(
+            self.config.with_overrides(parallel={"enabled": True, "max_workers": max_workers}),
+            encoder=self._encoder_override,
+        )

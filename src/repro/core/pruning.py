@@ -1,0 +1,122 @@
+"""Density-based pruning (Algorithm 4 and Definitions 3-5).
+
+Hierarchical merging only ever looks at the two tables currently being
+merged, so a tuple built up over several levels can drag along an outlier
+(Figure 4). The pruning stage classifies each tuple's members as core,
+reachable, or outlier entities using DBSCAN-style density rules and removes
+the outliers; tuples left with fewer than two members are dropped entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ann.distances import pairwise_distances
+from ..config import PruningConfig
+from ..data.entity import EntityRef
+from .merging import MergeItem
+from .parallel import ParallelExecutor, partition
+
+
+@dataclass
+class EntityClassification:
+    """Outcome of Algorithm 4 for one data item (indices into the item's members)."""
+
+    core: list[int] = field(default_factory=list)
+    reachable: list[int] = field(default_factory=list)
+    outliers: list[int] = field(default_factory=list)
+
+
+def classify_entities(
+    vectors: np.ndarray, epsilon: float, min_pts: int, metric: str = "euclidean"
+) -> EntityClassification:
+    """Classify the members of one data item (Algorithm 4).
+
+    Args:
+        vectors: ``(u, d)`` member embeddings of the data item.
+        epsilon: neighbourhood radius ε.
+        min_pts: neighbours (including self) required to be a core entity.
+        metric: distance metric (the paper uses euclidean here).
+
+    Returns:
+        :class:`EntityClassification` of member indices.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    u = vectors.shape[0]
+    if u == 0:
+        return EntityClassification()
+    distances = pairwise_distances(vectors, metric)
+    neighbor_masks = distances <= epsilon
+    neighbor_counts = neighbor_masks.sum(axis=1)
+    core = [i for i in range(u) if neighbor_counts[i] >= min_pts]
+    core_set = set(core)
+    classification = EntityClassification(core=core)
+    for i in range(u):
+        if i in core_set:
+            continue
+        neighbors = np.flatnonzero(neighbor_masks[i])
+        if any(int(j) in core_set for j in neighbors if int(j) != i):
+            classification.reachable.append(i)
+        else:
+            classification.outliers.append(i)
+    return classification
+
+
+def prune_item(
+    item: MergeItem,
+    embedding_lookup: dict[EntityRef, np.ndarray],
+    config: PruningConfig,
+) -> MergeItem | None:
+    """Prune one candidate tuple; return ``None`` if fewer than 2 members survive."""
+    if item.size < 2:
+        return None
+    vectors = np.stack([embedding_lookup[ref] for ref in item.members])
+    classification = classify_entities(vectors, config.epsilon, config.min_pts, config.metric)
+    keep_indices = sorted(classification.core + classification.reachable)
+    if len(keep_indices) < 2:
+        return None
+    if len(keep_indices) == item.size:
+        return item
+    members = tuple(item.members[i] for i in keep_indices)
+    vector = vectors[keep_indices].mean(axis=0)
+    norm = float(np.linalg.norm(vector))
+    if norm > 0:
+        vector = vector / norm
+    return MergeItem(members=members, vector=vector.astype(np.float32))
+
+
+def prune_items(
+    items: list[MergeItem],
+    embedding_lookup: dict[EntityRef, np.ndarray],
+    config: PruningConfig,
+    *,
+    executor: ParallelExecutor | None = None,
+) -> list[MergeItem]:
+    """Prune every candidate tuple, optionally in parallel over partitions.
+
+    Only items with >= 2 members are considered (singletons are not
+    predictions); the survivors keep their original relative order.
+    """
+    executor = executor or ParallelExecutor()
+    candidates = [item for item in items if item.size >= 2]
+    if not config.enabled:
+        return candidates
+    if not candidates:
+        return []
+
+    def prune_chunk(chunk: list[MergeItem]) -> list[MergeItem]:
+        survivors: list[MergeItem] = []
+        for item in chunk:
+            pruned = prune_item(item, embedding_lookup, config)
+            if pruned is not None:
+                survivors.append(pruned)
+        return survivors
+
+    if executor.is_parallel:
+        workers = executor.config.max_workers or 4
+        chunks = partition(candidates, max(workers, 1) * 2)
+        results = executor.map(prune_chunk, chunks)
+        return [item for chunk_result in results for item in chunk_result]
+    return prune_chunk(candidates)

@@ -1,0 +1,92 @@
+"""Entity representation: serialization + sentence encoding for whole tables.
+
+This is stage (I) of the pipeline (Figure 3). The representer owns the
+encoder, serializes every record (optionally restricted to the attributes
+selected by Algorithm 1), and produces one embedding matrix per source table
+plus a flat ``ref -> vector`` lookup used by the pruning stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import RepresentationConfig
+from ..data.dataset import MultiTableDataset
+from ..data.entity import EntityRef
+from ..data.serialization import serialize_table
+from ..data.table import Table
+from ..embedding import CachingEncoder, SentenceEncoder, create_encoder
+
+
+@dataclass
+class TableEmbeddings:
+    """Embeddings of one table's rows, aligned with the table's row order."""
+
+    table_name: str
+    refs: list[EntityRef]
+    vectors: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.refs)
+
+
+class EntityRepresenter:
+    """Serializes and encodes tables with a configurable encoder."""
+
+    def __init__(
+        self,
+        config: RepresentationConfig | None = None,
+        encoder: SentenceEncoder | None = None,
+    ) -> None:
+        self.config = config or RepresentationConfig()
+        self.config.validate()
+        inner = encoder or create_encoder(
+            self.config.encoder, dimension=self.config.dimension, seed=self.config.seed
+        )
+        self.encoder = CachingEncoder(inner)
+        self._fitted = False
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, dataset: MultiTableDataset, attributes: Sequence[str] | None = None) -> "EntityRepresenter":
+        """Fit corpus statistics (IDF / SVD basis) on the serialized dataset."""
+        corpus: list[str] = []
+        for table in dataset.table_list():
+            corpus.extend(
+                serialize_table(table, attributes, max_tokens=self.config.max_sequence_length)
+            )
+        self.encoder.fit(corpus)
+        self._fitted = True
+        return self
+
+    # ---------------------------------------------------------------- encode
+    def encode_table(self, table: Table, attributes: Sequence[str] | None = None) -> TableEmbeddings:
+        """Encode one table into a :class:`TableEmbeddings`."""
+        texts = serialize_table(table, attributes, max_tokens=self.config.max_sequence_length)
+        vectors = self.encoder.encode(texts)
+        return TableEmbeddings(table_name=table.name, refs=table.refs(), vectors=vectors)
+
+    def encode_texts(self, texts: Sequence[str]) -> np.ndarray:
+        """Encode raw serialized texts (used by Algorithm 1)."""
+        return self.encoder.encode(texts)
+
+    def encode_dataset(
+        self, dataset: MultiTableDataset, attributes: Sequence[str] | None = None
+    ) -> dict[str, TableEmbeddings]:
+        """Encode every table; fits the encoder first if not already fitted."""
+        if not self._fitted:
+            self.fit(dataset, attributes)
+        return {
+            table.name: self.encode_table(table, attributes) for table in dataset.table_list()
+        }
+
+    @staticmethod
+    def embedding_lookup(embeddings: dict[str, TableEmbeddings]) -> dict[EntityRef, np.ndarray]:
+        """Flatten per-table embeddings into a ``ref -> vector`` mapping."""
+        lookup: dict[EntityRef, np.ndarray] = {}
+        for table_embeddings in embeddings.values():
+            for ref, vector in zip(table_embeddings.refs, table_embeddings.vectors):
+                lookup[ref] = vector
+        return lookup

@@ -1,0 +1,22 @@
+"""Relational data substrate: entities, tables, datasets, IO, serialization."""
+
+from .dataset import MatchTuple, MultiTableDataset, make_tuple
+from .entity import Entity, EntityRef
+from .io import load_dataset, read_table_csv, save_dataset, write_table_csv
+from .serialization import serialize_entity, serialize_table
+from .table import Table
+
+__all__ = [
+    "Entity",
+    "EntityRef",
+    "Table",
+    "MultiTableDataset",
+    "MatchTuple",
+    "make_tuple",
+    "serialize_entity",
+    "serialize_table",
+    "save_dataset",
+    "load_dataset",
+    "read_table_csv",
+    "write_table_csv",
+]

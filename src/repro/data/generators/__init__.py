@@ -1,0 +1,36 @@
+"""Synthetic multi-source dataset generators mirroring the paper's benchmarks."""
+
+from .base import GeneratorConfig, SyntheticDatasetGenerator
+from .corruption import CorruptionConfig, ValueCorruptor
+from .geo import GeoGenerator
+from .music import MusicGenerator
+from .person import PersonGenerator
+from .product import ProductGenerator, ShopeeGenerator
+from .registry import (
+    DATASET_NAMES,
+    PROFILES,
+    DatasetSpec,
+    available_datasets,
+    dataset_spec,
+    load_benchmark,
+    paper_statistics,
+)
+
+__all__ = [
+    "GeneratorConfig",
+    "SyntheticDatasetGenerator",
+    "CorruptionConfig",
+    "ValueCorruptor",
+    "GeoGenerator",
+    "MusicGenerator",
+    "PersonGenerator",
+    "ProductGenerator",
+    "ShopeeGenerator",
+    "DATASET_NAMES",
+    "PROFILES",
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_spec",
+    "load_benchmark",
+    "paper_statistics",
+]

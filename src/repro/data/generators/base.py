@@ -1,0 +1,128 @@
+"""Shared machinery for synthetic multi-source dataset generators.
+
+Each generator produces a pool of *clean* real-world entities, then scatters
+corrupted variants of each entity across a configurable number of source
+tables. Entities present in two or more sources form the ground-truth matched
+tuples (Definition 2); singleton appearances act as distractors, exactly like
+the unmatched records in the paper's benchmarks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...exceptions import ConfigurationError
+from ..dataset import MultiTableDataset
+from ..entity import EntityRef
+from ..table import Table
+from .corruption import CorruptionConfig, ValueCorruptor
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size and shape knobs shared by every domain generator.
+
+    Attributes:
+        num_sources: number of source tables S.
+        num_entities: number of distinct real-world entities in the pool.
+        duplicate_rate: probability that an entity appears in any given
+            source (controls tuple sizes and the matched/unmatched mix).
+        min_sources_per_entity: lower bound on appearances for entities that
+            are chosen to be duplicated.
+        corruption: corruption probabilities applied to non-canonical copies.
+        seed: RNG seed; generation is fully deterministic given the config.
+    """
+
+    num_sources: int = 4
+    num_entities: int = 500
+    duplicate_rate: float = 0.6
+    min_sources_per_entity: int = 2
+    corruption: CorruptionConfig = field(default_factory=CorruptionConfig)
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_sources < 2:
+            raise ConfigurationError("need at least two source tables")
+        if self.num_entities < 1:
+            raise ConfigurationError("need at least one entity")
+        if not 0 < self.duplicate_rate <= 1:
+            raise ConfigurationError("duplicate_rate must be in (0, 1]")
+        if self.min_sources_per_entity < 2:
+            raise ConfigurationError("min_sources_per_entity must be >= 2")
+
+
+class SyntheticDatasetGenerator(ABC):
+    """Base class: sample clean entities, scatter corrupted copies, emit truth."""
+
+    #: dataset-level name prefix, e.g. ``"music"``.
+    domain: str = "generic"
+    #: attributes whose values are never corrupted (e.g. numeric ids that the
+    #: paper's attribute-selection should learn to ignore anyway).
+    protected_attributes: frozenset[str] = frozenset()
+
+    def __init__(self, config: GeneratorConfig) -> None:
+        config.validate()
+        self.config = config
+
+    # ------------------------------------------------------------- interface
+    @property
+    @abstractmethod
+    def schema(self) -> tuple[str, ...]:
+        """Attribute names of every generated table."""
+
+    @abstractmethod
+    def sample_clean_entity(self, rng: np.random.Generator, index: int) -> dict[str, str]:
+        """Produce the canonical (uncorrupted) attribute values of entity ``index``."""
+
+    def source_specific_values(
+        self, clean: dict[str, str], source_index: int, rng: np.random.Generator
+    ) -> dict[str, str]:
+        """Hook for per-source systematic differences (e.g. source-specific ids)."""
+        return dict(clean)
+
+    # ------------------------------------------------------------ generation
+    def generate(self, name: str | None = None) -> MultiTableDataset:
+        """Generate the dataset: tables, ground truth, and provenance metadata."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        corruptor = ValueCorruptor(cfg.corruption, seed=cfg.seed + 1)
+        source_names = [f"source_{chr(ord('A') + i)}" if cfg.num_sources <= 26 else f"source_{i:02d}"
+                        for i in range(cfg.num_sources)]
+        tables = {s: Table(s, self.schema) for s in source_names}
+        ground_truth: list[frozenset[EntityRef]] = []
+
+        for entity_index in range(cfg.num_entities):
+            clean = self.sample_clean_entity(rng, entity_index)
+            if rng.random() < cfg.duplicate_rate:
+                count = int(rng.integers(cfg.min_sources_per_entity, cfg.num_sources + 1))
+            else:
+                count = 1
+            chosen = rng.choice(cfg.num_sources, size=min(count, cfg.num_sources), replace=False)
+            refs: list[EntityRef] = []
+            for order, source_position in enumerate(sorted(int(c) for c in chosen)):
+                source = source_names[source_position]
+                values = self.source_specific_values(clean, source_position, rng)
+                if order > 0:  # keep the first copy clean-ish, corrupt the rest
+                    values = corruptor.corrupt_record(values, set(self.protected_attributes))
+                row = {attr: values.get(attr, "") for attr in self.schema}
+                refs.append(tables[source].append(row))
+            if len(refs) >= 2:
+                ground_truth.append(frozenset(refs))
+
+        dataset = MultiTableDataset.from_tables(
+            name or f"{self.domain}-synthetic",
+            [tables[s] for s in source_names],
+            ground_truth,
+            metadata={
+                "domain": self.domain,
+                "generator": type(self).__name__,
+                "num_sources": cfg.num_sources,
+                "num_entities_pool": cfg.num_entities,
+                "duplicate_rate": cfg.duplicate_rate,
+                "seed": cfg.seed,
+            },
+        )
+        return dataset

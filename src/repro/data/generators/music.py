@@ -1,0 +1,93 @@
+"""Music-like dataset generator.
+
+The paper's Music-20/200/2000 datasets have 5 sources and 8 attributes
+(id, number, title, length, artist, album, year, language) of which only
+title/artist/album carry matching signal (Table VII). The generator keeps
+that property: ``id`` and ``number`` are source-specific noise, ``length``,
+``year`` and ``language`` are low-information, and the text attributes are
+the discriminative ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SyntheticDatasetGenerator
+from .vocabulary import ALBUM_WORDS, ARTIST_FIRST, ARTIST_LAST, LANGUAGES, SONG_WORDS
+
+
+class MusicGenerator(SyntheticDatasetGenerator):
+    """Synthetic multi-source music-track catalogue (Music-20/200/2000 shape).
+
+    The non-textual metadata columns deliberately disagree across catalogues
+    (identifiers are source-specific, track lengths are formatted differently,
+    years drift by ±1, language codes use different conventions). This mirrors
+    real aggregated catalogues and is what makes the paper's enhanced entity
+    representation (attribute selection) matter: serializing those columns
+    into the embedding *hurts* matching, and Algorithm 1 learns to drop them
+    (Table VII).
+    """
+
+    domain = "music"
+    protected_attributes = frozenset({"id", "number", "length", "year", "language"})
+
+    _LANGUAGE_FORMS = {
+        "en": ("en", "english", "eng"),
+        "de": ("de", "german", "ger"),
+        "fr": ("fr", "french", "fra"),
+        "es": ("es", "spanish", "spa"),
+        "it": ("it", "italian", "ita"),
+        "pt": ("pt", "portuguese", "por"),
+        "nl": ("nl", "dutch", "nld"),
+        "sv": ("sv", "swedish", "swe"),
+    }
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        return ("id", "number", "title", "length", "artist", "album", "year", "language")
+
+    def sample_clean_entity(self, rng: np.random.Generator, index: int) -> dict[str, str]:
+        title_words = rng.choice(SONG_WORDS, size=int(rng.integers(2, 4)), replace=False)
+        artist = f"{rng.choice(ARTIST_FIRST)} {rng.choice(ARTIST_LAST)}"
+        album = " ".join(rng.choice(ALBUM_WORDS, size=int(rng.integers(1, 3)), replace=False))
+        minutes = int(rng.integers(2, 7))
+        seconds = int(rng.integers(0, 60))
+        return {
+            "id": f"WoM{int(rng.integers(10_000_000, 99_999_999))}",
+            "number": str(int(rng.integers(1, 20))),
+            "title": " ".join(str(w) for w in title_words),
+            "length": f"{minutes}:{seconds:02d}",
+            "artist": artist,
+            "album": album,
+            "year": str(int(rng.integers(1975, 2023))),
+            "language": str(rng.choice(LANGUAGES)),
+        }
+
+    def source_specific_values(
+        self, clean: dict[str, str], source_index: int, rng: np.random.Generator
+    ) -> dict[str, str]:
+        # Every catalogue assigns its own opaque identifier and track number,
+        # formats the track length its own way, disagrees on the year by up to
+        # one, and encodes the language differently. These columns therefore
+        # carry zero (or negative) cross-source matching signal — the reason
+        # the EER module drops them (Table VII) and the w/o-EER ablation loses
+        # accuracy (Table IV).
+        values = dict(clean)
+        values["id"] = f"S{source_index}-{int(rng.integers(10_000_000, 99_999_999))}"
+        values["number"] = str(int(rng.integers(1, 20)))
+        minutes, seconds = clean["length"].split(":")
+        length_format = int(rng.integers(0, 3))
+        if length_format == 1:
+            values["length"] = f"{int(minutes) * 60 + int(seconds)}s"
+        elif length_format == 2:
+            values["length"] = f"{minutes}m{seconds}s"
+        year = int(clean["year"]) + int(rng.integers(-1, 2))
+        values["year"] = f"'{year % 100:02d}" if rng.random() < 0.3 else str(year)
+        forms = self._LANGUAGE_FORMS.get(clean["language"], (clean["language"],))
+        values["language"] = str(forms[int(rng.integers(0, len(forms)))])
+        # Aggregated catalogues are sparsely populated: secondary metadata is
+        # frequently missing, which removes most of its cross-source signal.
+        for sparse_attribute in ("length", "year", "language"):
+            if rng.random() < 0.45:
+                values[sparse_attribute] = ""
+        return values

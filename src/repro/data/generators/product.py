@@ -1,0 +1,94 @@
+"""Product-listing dataset generator (Shopee / price-comparison shape).
+
+Two shapes are produced:
+
+* :class:`ProductGenerator` — a multi-attribute e-commerce catalogue (title,
+  brand, color, storage, price), used by the examples and the quickstart.
+* :class:`ShopeeGenerator` — the paper's Shopee profile: **20 sources, a
+  single ``title`` attribute**, and deliberately confusable listings (many
+  distinct products share most of their tokens), which is why every method's
+  scores collapse on this dataset in Table IV.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SyntheticDatasetGenerator
+from .vocabulary import (
+    BRANDS,
+    COLORS,
+    MARKETING_TOKENS,
+    PRODUCT_MODIFIERS,
+    PRODUCT_NOUNS,
+    SCREEN_SIZES,
+    STORAGE_SIZES,
+)
+
+
+class ProductGenerator(SyntheticDatasetGenerator):
+    """Multi-attribute product catalogue spread over several marketplaces."""
+
+    domain = "product"
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        return ("title", "brand", "color", "storage", "price")
+
+    def sample_clean_entity(self, rng: np.random.Generator, index: int) -> dict[str, str]:
+        brand = str(rng.choice(BRANDS))
+        noun = str(rng.choice(PRODUCT_NOUNS))
+        modifier = str(rng.choice(PRODUCT_MODIFIERS))
+        generation = int(rng.integers(1, 15))
+        storage = str(rng.choice(STORAGE_SIZES))
+        screen = str(rng.choice(SCREEN_SIZES))
+        color = str(rng.choice(COLORS))
+        title = f"{brand} {noun} {generation} {modifier} {screen} {storage}"
+        price = float(rng.uniform(40, 1500))
+        return {
+            "title": title,
+            "brand": brand,
+            "color": color,
+            "storage": storage,
+            "price": f"{price:.2f}",
+        }
+
+    def source_specific_values(
+        self, clean: dict[str, str], source_index: int, rng: np.random.Generator
+    ) -> dict[str, str]:
+        # Marketplaces price the same product differently — price is noise.
+        values = dict(clean)
+        base = float(clean["price"])
+        values["price"] = f"{base * float(rng.uniform(0.9, 1.1)):.2f}"
+        return values
+
+
+class ShopeeGenerator(SyntheticDatasetGenerator):
+    """Single-attribute, highly confusable product titles across 20 sources."""
+
+    domain = "shopee"
+
+    #: Small vocabulary reused across *different* products so that distinct
+    #: entities share most tokens — the property that makes Shopee hard.
+    _CONFUSABLE_PARTS = (
+        ("senter", "torch", "flashlight", "lamp", "headlamp"),
+        ("mini", "xpe", "cob", "led", "q5", "u3", "t6"),
+        ("zoom", "usb", "cas", "charger", "rechargeable", "waterproof"),
+        ("police", "swat", "tactical", "outdoor", "camping", "emergency"),
+    )
+
+    @property
+    def schema(self) -> tuple[str, ...]:
+        return ("title",)
+
+    def sample_clean_entity(self, rng: np.random.Generator, index: int) -> dict[str, str]:
+        parts: list[str] = []
+        for group in self._CONFUSABLE_PARTS:
+            take = int(rng.integers(1, 3))
+            parts.extend(str(w) for w in rng.choice(group, size=min(take, len(group)), replace=False))
+        if rng.random() < 0.5:
+            parts.append(str(rng.choice(MARKETING_TOKENS)))
+        # A product code is the only reliably discriminative token; it is
+        # short and easily corrupted, which keeps the dataset hard.
+        parts.append(f"v{int(rng.integers(1, 99))}")
+        return {"title": " ".join(parts)}

@@ -1,0 +1,167 @@
+"""Registry of the paper's six benchmark profiles at several scales.
+
+The paper evaluates on Geo, Music-20, Music-200, Music-2000, Person, and
+Shopee (Table III). The real datasets cannot be downloaded here, so the
+registry maps each name onto a synthetic generator with the same number of
+sources, schema shape, and duplicate structure, at three scales:
+
+* ``paper``  — entity pools sized like Table III (Music-2000 / Person remain
+  large; only use this profile on a beefy machine),
+* ``bench``  — scaled so the full benchmark harness finishes in minutes,
+* ``tiny``   — unit-test scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...exceptions import ConfigurationError
+from ..dataset import MultiTableDataset
+from .base import GeneratorConfig, SyntheticDatasetGenerator
+from .corruption import CorruptionConfig
+from .geo import GeoGenerator
+from .music import MusicGenerator
+from .person import PersonGenerator
+from .product import ProductGenerator, ShopeeGenerator
+
+DATASET_NAMES = ("geo", "music-20", "music-200", "music-2000", "person", "shopee")
+PROFILES = ("tiny", "bench", "paper")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """How to build one named benchmark at one scale."""
+
+    name: str
+    generator_cls: type[SyntheticDatasetGenerator]
+    num_sources: int
+    entities_by_profile: dict[str, int]
+    duplicate_rate: float = 0.6
+    corruption: CorruptionConfig = CorruptionConfig()
+
+    def build(self, profile: str, seed: int = 0) -> MultiTableDataset:
+        if profile not in self.entities_by_profile:
+            raise ConfigurationError(
+                f"profile {profile!r} not available for {self.name!r}; "
+                f"choose from {sorted(self.entities_by_profile)}"
+            )
+        config = GeneratorConfig(
+            num_sources=self.num_sources,
+            num_entities=self.entities_by_profile[profile],
+            duplicate_rate=self.duplicate_rate,
+            corruption=self.corruption,
+            seed=seed,
+        )
+        generator = self.generator_cls(config)
+        dataset = generator.generate(self.name)
+        dataset.metadata["profile"] = profile
+        return dataset
+
+
+_SPECS: dict[str, DatasetSpec] = {
+    "geo": DatasetSpec(
+        name="geo",
+        generator_cls=GeoGenerator,
+        num_sources=4,
+        entities_by_profile={"tiny": 60, "bench": 820, "paper": 820},
+        duplicate_rate=0.65,
+        corruption=CorruptionConfig(add_token_prob=0.05, synonym_prob=0.0, drop_token_prob=0.1),
+    ),
+    "music-20": DatasetSpec(
+        name="music-20",
+        generator_cls=MusicGenerator,
+        num_sources=5,
+        entities_by_profile={"tiny": 80, "bench": 1200, "paper": 5000},
+        duplicate_rate=0.7,
+    ),
+    "music-200": DatasetSpec(
+        name="music-200",
+        generator_cls=MusicGenerator,
+        num_sources=5,
+        entities_by_profile={"tiny": 120, "bench": 4000, "paper": 50_000},
+        duplicate_rate=0.7,
+    ),
+    "music-2000": DatasetSpec(
+        name="music-2000",
+        generator_cls=MusicGenerator,
+        num_sources=5,
+        entities_by_profile={"tiny": 160, "bench": 8000, "paper": 500_000},
+        duplicate_rate=0.7,
+    ),
+    "person": DatasetSpec(
+        name="person",
+        generator_cls=PersonGenerator,
+        num_sources=5,
+        entities_by_profile={"tiny": 150, "bench": 6000, "paper": 500_000},
+        duplicate_rate=0.6,
+        corruption=CorruptionConfig(typo_prob=0.25, add_token_prob=0.05, synonym_prob=0.0),
+    ),
+    "shopee": DatasetSpec(
+        name="shopee",
+        generator_cls=ShopeeGenerator,
+        num_sources=20,
+        entities_by_profile={"tiny": 100, "bench": 1500, "paper": 10_962},
+        duplicate_rate=0.55,
+        corruption=CorruptionConfig(typo_prob=0.2, add_token_prob=0.35, reorder_prob=0.3),
+    ),
+}
+
+#: Extra, non-paper dataset used by examples and docs.
+_EXTRA_SPECS: dict[str, DatasetSpec] = {
+    "product": DatasetSpec(
+        name="product",
+        generator_cls=ProductGenerator,
+        num_sources=4,
+        entities_by_profile={"tiny": 80, "bench": 1000, "paper": 5000},
+        duplicate_rate=0.7,
+    ),
+}
+
+
+def available_datasets(include_extra: bool = False) -> tuple[str, ...]:
+    """Names of the registered benchmark datasets."""
+    names = list(DATASET_NAMES)
+    if include_extra:
+        names.extend(sorted(_EXTRA_SPECS))
+    return tuple(names)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Return the spec for a registered dataset name."""
+    spec = _SPECS.get(name) or _EXTRA_SPECS.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown dataset {name!r}; available: {available_datasets(include_extra=True)}"
+        )
+    return spec
+
+
+def load_benchmark(name: str, profile: str = "bench", seed: int = 0) -> MultiTableDataset:
+    """Build one of the registered benchmark datasets.
+
+    Args:
+        name: one of :data:`DATASET_NAMES` (or ``"product"``).
+        profile: ``"tiny"``, ``"bench"`` or ``"paper"``.
+        seed: generation seed — the same (name, profile, seed) triple always
+            produces the identical dataset.
+    """
+    return dataset_spec(name).build(profile, seed=seed)
+
+
+def paper_statistics() -> list[dict[str, object]]:
+    """Table III as published (for side-by-side comparison in reports)."""
+    return [
+        {"name": "Geo", "domain": "geography", "sources": 4, "attributes": 3,
+         "entities": 3054, "tuples": 820, "pairs": 4391},
+        {"name": "Music-20", "domain": "music", "sources": 5, "attributes": 5,
+         "entities": 19_375, "tuples": 5000, "pairs": 16_250},
+        {"name": "Music-200", "domain": "music", "sources": 5, "attributes": 5,
+         "entities": 193_750, "tuples": 50_000, "pairs": 162_500},
+        {"name": "Music-2000", "domain": "music", "sources": 5, "attributes": 5,
+         "entities": 1_937_500, "tuples": 500_000, "pairs": 1_625_000},
+        {"name": "Person", "domain": "person", "sources": 5, "attributes": 4,
+         "entities": 5_000_000, "tuples": 500_000, "pairs": 3_331_384},
+        {"name": "Shopee", "domain": "product", "sources": 20, "attributes": 1,
+         "entities": 32_563, "tuples": 10_962, "pairs": 54_488},
+    ]

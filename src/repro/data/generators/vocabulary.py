@@ -1,0 +1,163 @@
+"""Deterministic vocabularies used by the synthetic dataset generators.
+
+The public benchmarks (Geo, Music, Person, Shopee) cannot be downloaded in
+this environment, so the generators synthesize datasets with the same *shape*:
+the vocabularies below give each domain realistic-looking values while staying
+fully deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+BRANDS = [
+    "apple", "samsung", "xiaomi", "huawei", "sony", "lg", "nokia", "oppo",
+    "vivo", "lenovo", "asus", "acer", "dell", "hp", "canon", "nikon",
+    "bosch", "philips", "panasonic", "logitech", "anker", "jbl", "garmin",
+    "fitbit", "dyson", "braun", "siemens", "kenwood", "tefal", "remington",
+]
+
+PRODUCT_NOUNS = [
+    "phone", "smartphone", "tablet", "laptop", "notebook", "camera", "lens",
+    "headphones", "earbuds", "speaker", "charger", "cable", "adapter",
+    "keyboard", "mouse", "monitor", "printer", "router", "powerbank",
+    "watch", "band", "drone", "projector", "microphone", "webcam",
+    "torch", "flashlight", "kettle", "blender", "toaster", "vacuum",
+]
+
+PRODUCT_MODIFIERS = [
+    "pro", "max", "mini", "plus", "ultra", "lite", "air", "se", "xl",
+    "prime", "neo", "edge", "fold", "flip", "classic", "sport", "active",
+]
+
+COLORS = [
+    "black", "white", "silver", "gold", "gray", "blue", "red", "green",
+    "pink", "purple", "yellow", "orange", "rose", "bronze", "graphite",
+]
+
+COLOR_SYNONYMS = {
+    "black": ["jet black", "midnight", "onyx"],
+    "white": ["pearl white", "ivory", "snow"],
+    "silver": ["sv", "metallic silver", "platinum"],
+    "gold": ["champagne", "golden"],
+    "gray": ["grey", "space gray", "graphite gray"],
+    "blue": ["navy", "ocean blue", "azure"],
+    "red": ["crimson", "scarlet"],
+    "green": ["emerald", "olive"],
+    "pink": ["rose pink", "blush"],
+    "purple": ["violet", "lavender"],
+}
+
+STORAGE_SIZES = ["16gb", "32gb", "64gb", "128gb", "256gb", "512gb", "1tb"]
+SCREEN_SIZES = ["4.7", "5.0", "5.5", "6.1", "6.5", "6.7", "7.0", "10.1", "12.9", "13.3", "14", "15.6"]
+
+MARKETING_TOKENS = [
+    "unlocked", "sim free", "dual sim", "4g", "5g", "wifi", "bluetooth",
+    "original", "official", "warranty", "new", "sealed", "free shipping",
+    "fast charging", "waterproof", "limited edition", "2023 model",
+]
+
+FIRST_NAMES = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy",
+    "kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+    "deborah", "ronald", "stephanie", "timothy", "rebecca", "jason", "sharon",
+    "jeffrey", "laura", "ryan", "cynthia", "jacob", "kathleen", "gary",
+    "amy", "nicholas", "angela", "eric", "shirley", "jonathan", "anna",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+    "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+]
+
+SUBURBS = [
+    "springfield", "riverside", "fairview", "greenville", "bristol",
+    "clinton", "georgetown", "salem", "madison", "oakland", "ashland",
+    "burlington", "milton", "newport", "arlington", "dover", "hudson",
+    "kingston", "oxford", "richmond", "auburn", "chester", "dayton",
+    "florence", "glendale", "jackson", "lebanon", "manchester", "troy",
+]
+
+CITIES = [
+    "zurich", "geneva", "basel", "bern", "lausanne", "lucerne", "lugano",
+    "vienna", "graz", "linz", "salzburg", "innsbruck", "munich", "berlin",
+    "hamburg", "cologne", "frankfurt", "stuttgart", "dusseldorf", "leipzig",
+    "prague", "brno", "bratislava", "budapest", "ljubljana", "zagreb",
+    "milan", "turin", "venice", "florence", "naples", "rome", "bologna",
+    "lyon", "marseille", "toulouse", "bordeaux", "nantes", "strasbourg",
+    "porto", "lisbon", "seville", "valencia", "bilbao", "granada",
+    "krakow", "warsaw", "gdansk", "wroclaw", "poznan", "szczecin",
+    "oslo", "bergen", "stockholm", "gothenburg", "malmo", "uppsala",
+    "helsinki", "tampere", "turku", "copenhagen", "aarhus", "odense",
+    "rotterdam", "utrecht", "eindhoven", "antwerp", "ghent", "bruges",
+    "dresden", "nuremberg", "hanover", "bremen", "kiel", "mainz",
+]
+
+GEO_FEATURE_TYPES = [
+    "lake", "mountain", "peak", "river", "valley", "glacier", "pass",
+    "forest", "ridge", "spring", "waterfall", "reservoir", "hill", "bay",
+    "gorge", "plateau", "marsh", "meadow", "cliff", "cave", "island",
+    "lagoon", "creek", "summit", "basin", "canyon", "delta", "dune",
+]
+
+GEO_QUALIFIERS = [
+    "upper", "lower", "north", "south", "east", "west", "great", "little",
+    "old", "new", "inner", "outer", "high", "deep", "far", "middle",
+    "saint", "twin", "hidden", "silent", "black", "white", "red", "green",
+]
+
+ARTIST_FIRST = [
+    "tim", "emma", "carlos", "nina", "oscar", "lena", "marco", "julia",
+    "peter", "sofia", "diego", "ella", "victor", "amara", "felix", "iris",
+    "hugo", "clara", "leon", "maya", "adam", "nora", "simon", "vera",
+    "bruno", "alice", "rafael", "ines", "janek", "freya", "tomas", "zoe",
+    "miles", "dahlia", "ezra", "lucia", "odin", "petra", "silas", "wren",
+    "caspian", "marta", "nils", "selene", "arlo", "bianca", "dmitri", "yara",
+]
+
+ARTIST_LAST = [
+    "o'brien", "stone", "rivera", "holt", "lang", "mercer", "vance",
+    "kessler", "boyd", "fontaine", "harper", "quinn", "sawyer", "whitman",
+    "ellison", "draper", "calloway", "bennett", "mcrae", "delgado",
+    "sinclair", "thorne", "ashford", "winslow",
+    "aldana", "birk", "castellan", "dragovic", "eversole", "farrow",
+    "galindo", "hawthorne", "ibarra", "jansen", "kovacs", "lindqvist",
+    "moravec", "norrgard", "okafor", "petridis", "quintero", "rasmussen",
+    "sorensen", "takacs", "urbanek", "valtonen", "wexler", "zielinski",
+]
+
+ALBUM_WORDS = [
+    "chameleon", "midnight", "echoes", "horizon", "gravity", "mirrors",
+    "wildfire", "monsoon", "aurora", "paradox", "satellite", "harvest",
+    "voyager", "labyrinth", "ember", "cascade", "prism", "solstice",
+    "undertow", "afterglow", "momentum", "harbor", "lanterns", "meridian",
+    "penumbra", "tessellate", "driftwood", "borealis", "quicksand", "zephyr",
+    "marrow", "palisade", "vellum", "sonder", "tidewater", "firmament",
+    "atlas", "reverie", "monolith", "saffron", "parallax", "wintermoon",
+]
+
+SONG_WORDS = [
+    "river", "shadow", "golden", "summer", "winter", "falling", "rising",
+    "electric", "velvet", "broken", "silver", "neon", "crystal", "hollow",
+    "burning", "frozen", "wandering", "distant", "silent", "restless",
+    "crimson", "fading", "endless", "gentle", "hidden", "lonely",
+    "paper", "hollowed", "glass", "thunder", "ashen", "radiant", "midnight",
+    "shallow", "granite", "copper", "lunar", "feral", "weightless", "static",
+    "emerald", "hollowing", "nocturne", "pale", "roaming", "sapphire",
+    "trembling", "vagabond", "wayward", "yonder", "brittle", "cobalt",
+]
+
+LANGUAGES = ["en", "de", "fr", "es", "it", "pt", "nl", "sv"]
+
+STREET_SUFFIXES = ["street", "road", "avenue", "lane", "drive", "court", "place", "way"]

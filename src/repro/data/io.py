@@ -1,0 +1,95 @@
+"""Reading and writing datasets on disk.
+
+Datasets are stored as a directory of CSV files (one per source table) plus a
+``ground_truth.json`` file listing the matched tuples and a ``metadata.json``
+file. This mirrors how the public benchmarks the paper uses are distributed
+(one CSV per source, one mapping file).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..exceptions import DataError
+from .dataset import MatchTuple, MultiTableDataset
+from .entity import EntityRef
+from .table import Table
+
+_GROUND_TRUTH_FILE = "ground_truth.json"
+_METADATA_FILE = "metadata.json"
+
+
+def write_table_csv(table: Table, path: str | Path) -> None:
+    """Write one table to a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema)
+        for i in range(len(table)):
+            writer.writerow(table.row(i))
+
+
+def read_table_csv(path: str | Path, name: str | None = None) -> Table:
+    """Read one table from a CSV file written by :func:`write_table_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise DataError(f"table file {path} does not exist")
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            schema = next(reader)
+        except StopIteration as exc:
+            raise DataError(f"table file {path} is empty") from exc
+        table = Table(name or path.stem, schema)
+        for row in reader:
+            if not row:
+                continue
+            table.append(row)
+    return table
+
+
+def save_dataset(dataset: MultiTableDataset, directory: str | Path) -> Path:
+    """Persist a dataset to ``directory`` (one CSV per table + JSON sidecars)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for table in dataset.table_list():
+        write_table_csv(table, directory / f"{table.name}.csv")
+    truth_payload = [
+        sorted([ref.source, ref.index] for ref in tup) for tup in sorted(dataset.ground_truth, key=sorted)
+    ]
+    (directory / _GROUND_TRUTH_FILE).write_text(json.dumps(truth_payload), encoding="utf-8")
+    metadata = dict(dataset.metadata)
+    metadata["name"] = dataset.name
+    metadata["tables"] = [table.name for table in dataset.table_list()]
+    (directory / _METADATA_FILE).write_text(json.dumps(metadata, default=str), encoding="utf-8")
+    return directory
+
+
+def load_dataset(directory: str | Path) -> MultiTableDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    metadata_path = directory / _METADATA_FILE
+    if not metadata_path.exists():
+        raise DataError(f"{directory} does not contain {_METADATA_FILE}")
+    metadata = json.loads(metadata_path.read_text(encoding="utf-8"))
+    name = metadata.pop("name", directory.name)
+    table_names = metadata.pop("tables", None)
+    if table_names is None:
+        table_names = sorted(p.stem for p in directory.glob("*.csv"))
+    tables = [read_table_csv(directory / f"{table_name}.csv", table_name) for table_name in table_names]
+    truth_path = directory / _GROUND_TRUTH_FILE
+    ground_truth: list[MatchTuple] = []
+    if truth_path.exists():
+        payload = json.loads(truth_path.read_text(encoding="utf-8"))
+        for group in payload:
+            ground_truth.append(frozenset(EntityRef(source, int(index)) for source, index in group))
+    return MultiTableDataset.from_tables(name, tables, ground_truth, metadata)
+
+
+def refs_to_json(groups: Iterable[Iterable[EntityRef]]) -> list[list[list[object]]]:
+    """Convert groups of refs into a JSON-serializable structure."""
+    return [sorted([ref.source, ref.index] for ref in group) for group in groups]

@@ -1,0 +1,65 @@
+"""Entity serialization into text sequences.
+
+The paper (Section II-B) serializes an entity by dropping attribute names and
+concatenating attribute values::
+
+    serialize(e) ::= val_1 val_2 ... val_p
+
+The enhanced representation module re-serializes entities after attribute
+selection, so serialization accepts an optional attribute subset.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .entity import Entity
+from .table import Table
+
+
+def serialize_entity(
+    entity: Entity,
+    attributes: Sequence[str] | None = None,
+    *,
+    max_tokens: int | None = None,
+    lowercase: bool = True,
+) -> str:
+    """Serialize one entity into a whitespace-joined text sequence.
+
+    Args:
+        entity: the record to serialize.
+        attributes: if given, only these attributes (in this order) are kept —
+            this is how Algorithm 1's selection feeds into the encoder.
+        max_tokens: truncate the token sequence to this many tokens (the
+            paper caps sequences at 64 tokens).
+        lowercase: lowercase the text, mirroring typical EM preprocessing.
+
+    Returns:
+        A single string, possibly empty if every value is empty.
+    """
+    if attributes is None:
+        values = [value for _, value in entity.items()]
+    else:
+        values = [entity.get(attribute, "") for attribute in attributes]
+    text = " ".join(v.strip() for v in values if v and v.strip())
+    if lowercase:
+        text = text.lower()
+    if max_tokens is not None:
+        tokens = text.split()
+        if len(tokens) > max_tokens:
+            text = " ".join(tokens[:max_tokens])
+    return text
+
+
+def serialize_table(
+    table: Table,
+    attributes: Sequence[str] | None = None,
+    *,
+    max_tokens: int | None = None,
+    lowercase: bool = True,
+) -> list[str]:
+    """Serialize every row of a table, preserving row order."""
+    return [
+        serialize_entity(entity, attributes, max_tokens=max_tokens, lowercase=lowercase)
+        for entity in table.entities()
+    ]

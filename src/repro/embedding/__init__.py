@@ -1,0 +1,35 @@
+"""Embedding substrate: Sentence-BERT substitutes and pooling utilities."""
+
+from .base import SentenceEncoder, normalize_rows
+from .cache import CachingEncoder
+from .hashed import HashedNGramEncoder
+from .pooling import max_pool, mean_pool, medoid_pool
+from .random_projection import GaussianRandomProjection
+from .svd import TfidfSvdEncoder
+
+__all__ = [
+    "SentenceEncoder",
+    "normalize_rows",
+    "HashedNGramEncoder",
+    "TfidfSvdEncoder",
+    "CachingEncoder",
+    "GaussianRandomProjection",
+    "mean_pool",
+    "max_pool",
+    "medoid_pool",
+]
+
+
+def create_encoder(name: str, dimension: int = 384, seed: int = 0) -> SentenceEncoder:
+    """Factory used by the pipeline configuration.
+
+    Args:
+        name: ``"hashed-ngram"`` or ``"tfidf-svd"``.
+        dimension: embedding dimensionality.
+        seed: determinism seed.
+    """
+    if name == "hashed-ngram":
+        return HashedNGramEncoder(dimension=dimension, seed=seed)
+    if name == "tfidf-svd":
+        return TfidfSvdEncoder(dimension=dimension, seed=seed)
+    raise ValueError(f"unknown encoder {name!r}")

@@ -1,0 +1,58 @@
+"""In-memory embedding cache keyed by exact text.
+
+The enhanced-representation stage (Algorithm 1) re-encodes the same rows with
+one column shuffled; many values repeat, so caching exact serialized strings
+removes a large fraction of redundant encoder calls without changing results.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import SentenceEncoder
+
+
+class CachingEncoder(SentenceEncoder):
+    """Wrap any encoder with an exact-match text cache."""
+
+    def __init__(self, inner: SentenceEncoder, max_entries: int = 1_000_000) -> None:
+        self.inner = inner
+        self.dimension = inner.dimension
+        self.max_entries = max_entries
+        self._cache: dict[str, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def fit(self, texts: Sequence[str]) -> "CachingEncoder":
+        self.inner.fit(texts)
+        self._cache.clear()
+        return self
+
+    def encode(self, texts: Sequence[str]) -> np.ndarray:
+        result = np.zeros((len(texts), self.dimension), dtype=np.float32)
+        missing_positions: list[int] = []
+        missing_texts: list[str] = []
+        for i, text in enumerate(texts):
+            cached = self._cache.get(text)
+            if cached is not None:
+                result[i] = cached
+                self.hits += 1
+            else:
+                missing_positions.append(i)
+                missing_texts.append(text)
+                self.misses += 1
+        if missing_texts:
+            encoded = self.inner.encode(missing_texts)
+            for position, text, vector in zip(missing_positions, missing_texts, encoded):
+                result[position] = vector
+                if len(self._cache) < self.max_entries:
+                    self._cache[text] = vector
+        return result
+
+    def clear(self) -> None:
+        """Drop all cached vectors and reset statistics."""
+        self._cache.clear()
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,141 @@
+"""Hashed character-n-gram sentence encoder (Sentence-BERT substitute).
+
+Why this design: the offline environment has no pre-trained language model,
+so the encoder must be built from scratch yet behave like Sentence-BERT for
+the purposes of this paper — textual variants of the same entity must land
+close under cosine distance, and unrelated records far apart. The encoder
+achieves this with three ingredients:
+
+1. **Character n-gram hashing** — each token's 3–5-grams are hashed into the
+   embedding space with deterministic signs (FNV-1a), making the token
+   representation robust to typos, abbreviations, and reformatting.
+2. **Whole-token hashing** — a separate hash of the full token preserves
+   exact-token evidence, so clean matches still dominate.
+3. **SIF-style IDF weighting with mean pooling** — sentence vectors are the
+   IDF-weighted mean of token vectors (``fit`` learns IDF over the corpus),
+   mirroring Sentence-BERT's mean pooling while down-weighting frequent
+   boilerplate tokens such as "unlocked" or "free shipping".
+4. **Numeric down-weighting** — tokens dominated by digits (opaque ids,
+   coordinates, years, track numbers) contribute little to the pooled vector.
+   This mirrors the paper's Example 1: Sentence-BERT barely reacts when an
+   ``id`` value is replaced, which is precisely what lets Algorithm 1 separate
+   significant from insignificant attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..text.hashing import signed_bucket
+from ..text.tokenizer import char_ngrams, truncate_tokens, word_tokens
+from ..text.vocab import Vocabulary
+from .base import SentenceEncoder, normalize_rows
+
+
+class HashedNGramEncoder(SentenceEncoder):
+    """Deterministic hashed n-gram sentence encoder.
+
+    Args:
+        dimension: embedding dimensionality (default 384, matching MiniLM).
+        ngram_range: character n-gram sizes used per token.
+        max_tokens: maximum number of tokens per text (paper: 64).
+        token_weight: relative weight of the whole-token hash versus the
+            n-gram hashes inside a token vector.
+        use_idf: weight tokens by corpus IDF when :meth:`fit` has been called.
+        numeric_weight_floor: minimum pooling weight multiplier for tokens
+            made (mostly) of digits; 1.0 disables numeric down-weighting.
+        seed: hashing seed; two encoders with the same seed agree exactly.
+    """
+
+    def __init__(
+        self,
+        dimension: int = 384,
+        ngram_range: tuple[int, int] = (3, 5),
+        max_tokens: int = 64,
+        token_weight: float = 1.0,
+        use_idf: bool = True,
+        numeric_weight_floor: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if dimension <= 0:
+            raise ConfigurationError("dimension must be positive")
+        if max_tokens <= 0:
+            raise ConfigurationError("max_tokens must be positive")
+        self.dimension = dimension
+        self.ngram_range = ngram_range
+        self.max_tokens = max_tokens
+        self.token_weight = token_weight
+        self.use_idf = use_idf
+        if not 0 < numeric_weight_floor <= 1:
+            raise ConfigurationError("numeric_weight_floor must be in (0, 1]")
+        self.numeric_weight_floor = numeric_weight_floor
+        self.seed = seed
+        self._vocabulary: Vocabulary | None = None
+        self._token_cache: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, texts: Sequence[str]) -> "HashedNGramEncoder":
+        """Learn corpus IDF weights used for SIF-style pooling."""
+        if self.use_idf:
+            self._vocabulary = Vocabulary.build(texts)
+        return self
+
+    # ----------------------------------------------------------- token level
+    def _token_vector(self, token: str) -> np.ndarray:
+        cached = self._token_cache.get(token)
+        if cached is not None:
+            return cached
+        vector = np.zeros(self.dimension, dtype=np.float32)
+        grams = char_ngrams(token, *self.ngram_range)
+        for gram in grams:
+            index, sign = signed_bucket(gram, self.dimension, self.seed)
+            vector[index] += sign
+        index, sign = signed_bucket(token, self.dimension, self.seed + 7)
+        vector[index] += sign * self.token_weight * max(1, len(grams)) ** 0.5
+        norm = float(np.linalg.norm(vector))
+        if norm > 0:
+            vector /= norm
+        self._token_cache[token] = vector
+        return vector
+
+    def _numeric_multiplier(self, token: str) -> float:
+        """Down-weight digit-heavy tokens (ids, coordinates, years).
+
+        Pre-trained sentence encoders map opaque numeric strings onto nearly
+        interchangeable subword embeddings, so swapping them barely moves the
+        pooled vector (the paper's Example 1). The multiplier reproduces that
+        behaviour: a token that is all digits gets the configured floor, a
+        half-numeric token like ``64gb`` sits halfway, plain words get 1.0.
+        """
+        if self.numeric_weight_floor >= 1.0 or not token:
+            return 1.0
+        digit_fraction = sum(c.isdigit() for c in token) / len(token)
+        return max(self.numeric_weight_floor, 1.0 - digit_fraction)
+
+    def _token_weight_for(self, token: str) -> float:
+        multiplier = self._numeric_multiplier(token)
+        if self._vocabulary is None or not self.use_idf:
+            return multiplier
+        return multiplier * self._vocabulary.idf(token)
+
+    # --------------------------------------------------------------- encoding
+    def encode(self, texts: Sequence[str]) -> np.ndarray:
+        """Encode texts into unit-norm vectors via weighted mean pooling."""
+        matrix = np.zeros((len(texts), self.dimension), dtype=np.float32)
+        for row, text in enumerate(texts):
+            tokens = truncate_tokens(word_tokens(text), self.max_tokens)
+            if not tokens:
+                continue
+            weights = np.array([self._token_weight_for(t) for t in tokens], dtype=np.float32)
+            total = float(weights.sum())
+            if total <= 0:
+                weights = np.ones(len(tokens), dtype=np.float32)
+                total = float(len(tokens))
+            pooled = np.zeros(self.dimension, dtype=np.float32)
+            for token, weight in zip(tokens, weights):
+                pooled += weight * self._token_vector(token)
+            matrix[row] = pooled / total
+        return normalize_rows(matrix)

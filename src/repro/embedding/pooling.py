@@ -1,0 +1,52 @@
+"""Pooling operators over token-level embedding matrices.
+
+The paper uses mean pooling over Sentence-BERT token embeddings. The encoders
+in this package pool internally, but the operators are exposed for reuse (for
+example the merging stage mean-pools member embeddings into the representative
+vector of a merged item).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+
+
+def mean_pool(vectors: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Weighted mean of row vectors (uniform weights by default)."""
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2 or vectors.shape[0] == 0:
+        raise DataError("mean_pool expects a non-empty (n, d) matrix")
+    if weights is None:
+        return vectors.mean(axis=0)
+    weights = np.asarray(weights, dtype=np.float32)
+    if weights.shape[0] != vectors.shape[0]:
+        raise DataError("weights length must match number of vectors")
+    total = float(weights.sum())
+    if total <= 0:
+        return vectors.mean(axis=0)
+    return (weights[:, None] * vectors).sum(axis=0) / total
+
+
+def max_pool(vectors: np.ndarray) -> np.ndarray:
+    """Element-wise maximum of row vectors."""
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2 or vectors.shape[0] == 0:
+        raise DataError("max_pool expects a non-empty (n, d) matrix")
+    return vectors.max(axis=0)
+
+
+def medoid_pool(vectors: np.ndarray) -> np.ndarray:
+    """Return the member vector with the smallest total distance to the others.
+
+    Used by the design ablation comparing mean vs medoid representatives for
+    merged items.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2 or vectors.shape[0] == 0:
+        raise DataError("medoid_pool expects a non-empty (n, d) matrix")
+    if vectors.shape[0] == 1:
+        return vectors[0]
+    distances = np.linalg.norm(vectors[:, None, :] - vectors[None, :, :], axis=-1)
+    return vectors[int(np.argmin(distances.sum(axis=1)))]

@@ -1,0 +1,48 @@
+"""Gaussian random projection for dimensionality reduction.
+
+Used by the TF-IDF/SVD encoder when the requested output dimensionality
+exceeds what a truncated SVD can provide, and available on its own for
+Johnson–Lindenstrauss style compression of sparse feature matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import ConfigurationError
+
+
+class GaussianRandomProjection:
+    """Project (sparse or dense) features into a lower-dimensional dense space."""
+
+    def __init__(self, output_dim: int, seed: int = 0) -> None:
+        if output_dim <= 0:
+            raise ConfigurationError("output_dim must be positive")
+        self.output_dim = output_dim
+        self.seed = seed
+        self.components_: np.ndarray | None = None
+        self._input_dim: int | None = None
+
+    def fit(self, num_features: int) -> "GaussianRandomProjection":
+        """Sample the projection matrix for an input space of ``num_features``."""
+        if num_features <= 0:
+            raise ConfigurationError("num_features must be positive")
+        rng = np.random.default_rng(self.seed)
+        self.components_ = rng.normal(
+            0.0, 1.0 / np.sqrt(self.output_dim), size=(num_features, self.output_dim)
+        ).astype(np.float32)
+        self._input_dim = num_features
+        return self
+
+    def transform(self, matrix: np.ndarray | sparse.spmatrix) -> np.ndarray:
+        """Project rows of ``matrix`` into the output space."""
+        if self.components_ is None:
+            raise ConfigurationError("projection must be fitted before transform")
+        if matrix.shape[1] != self._input_dim:
+            raise ConfigurationError(
+                f"matrix has {matrix.shape[1]} features, projection expects {self._input_dim}"
+            )
+        if sparse.issparse(matrix):
+            return np.asarray(matrix @ self.components_, dtype=np.float32)
+        return np.asarray(matrix, dtype=np.float32) @ self.components_

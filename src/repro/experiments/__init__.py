@@ -1,0 +1,50 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from .ablations import (
+    ablation_index_backend,
+    ablation_mutual_vs_directed,
+    ablation_pruning_strategy,
+    ablation_representative,
+)
+from .figures import (
+    figure2_strategy_scaling,
+    figure5_module_times,
+    figure6_epsilon,
+    figure6_gamma,
+    figure6_m,
+    figure6_seed,
+)
+from .methods import METHOD_REGISTRY, TABLE4_METHODS, TABLE5_METHODS, create_method
+from .runner import ExperimentRun, run_experiment, run_matrix
+from .tables import (
+    table3_dataset_statistics,
+    table4_effectiveness,
+    table5_runtime,
+    table6_memory,
+    table7_selected_attributes,
+)
+
+__all__ = [
+    "METHOD_REGISTRY",
+    "TABLE4_METHODS",
+    "TABLE5_METHODS",
+    "create_method",
+    "ExperimentRun",
+    "run_experiment",
+    "run_matrix",
+    "table3_dataset_statistics",
+    "table4_effectiveness",
+    "table5_runtime",
+    "table6_memory",
+    "table7_selected_attributes",
+    "figure2_strategy_scaling",
+    "figure5_module_times",
+    "figure6_gamma",
+    "figure6_seed",
+    "figure6_m",
+    "figure6_epsilon",
+    "ablation_index_backend",
+    "ablation_representative",
+    "ablation_pruning_strategy",
+    "ablation_mutual_vs_directed",
+]

@@ -1,0 +1,189 @@
+"""Builders for the paper's figures (2, 5, 6) as data series.
+
+The reproduction produces *numbers*, not plots: each builder returns rows
+that, plotted, give the corresponding paper figure. The benchmark scripts
+print these rows; EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from ..config import (
+    REPRO_EPSILON_GRID,
+    REPRO_GAMMA_GRID,
+    REPRO_M_GRID,
+    paper_default_config,
+)
+from ..core import MultiEM
+from ..data.generators import DATASET_NAMES, load_benchmark
+from ..evaluation.metrics import evaluate
+from .runner import run_experiment
+
+
+def figure5_module_times(
+    dataset_names: Sequence[str] = DATASET_NAMES, *, profile: str = "bench", seed: int = 0
+) -> list[dict[str, object]]:
+    """Figure 5: running time of each key module, serial and parallel.
+
+    Columns use the paper's abbreviations: S = attribute selection,
+    R = representation, M/M(p) = merging serial/parallel, P/P(p) = pruning
+    serial/parallel.
+    """
+    rows: list[dict[str, object]] = []
+    for name in dataset_names:
+        dataset = load_benchmark(name, profile=profile, seed=seed)
+        serial = run_experiment("MultiEM", dataset, seed=seed)
+        parallel = run_experiment("MultiEM (parallel)", dataset, seed=seed)
+        if serial.status != "ok" or parallel.status != "ok":
+            continue
+        rows.append(
+            {
+                "dataset": name,
+                "S": round(serial.stage_timings.get("attribute_selection", 0.0), 2),
+                "R": round(serial.stage_timings.get("representation", 0.0), 2),
+                "M": round(serial.stage_timings.get("merging", 0.0), 2),
+                "M(p)": round(parallel.stage_timings.get("merging", 0.0), 2),
+                "P": round(serial.stage_timings.get("pruning", 0.0), 2),
+                "P(p)": round(parallel.stage_timings.get("pruning", 0.0), 2),
+            }
+        )
+    return rows
+
+
+def _sweep(
+    dataset_names: Sequence[str],
+    parameter: str,
+    values: Sequence[float | int],
+    *,
+    profile: str,
+    seed: int,
+    include_time: bool = True,
+) -> list[dict[str, object]]:
+    """Shared sweep driver for the Figure 6 sensitivity panels."""
+    rows: list[dict[str, object]] = []
+    for name in dataset_names:
+        dataset = load_benchmark(name, profile=profile, seed=seed)
+        baseline_time: float | None = None
+        for value in values:
+            config = paper_default_config(name)
+            if parameter == "gamma":
+                config = config.with_overrides(representation={"gamma": float(value)})
+            elif parameter == "m":
+                config = config.with_overrides(merging={"m": float(value)})
+            elif parameter == "epsilon":
+                config = config.with_overrides(pruning={"epsilon": float(value)})
+            elif parameter == "seed":
+                config = config.with_overrides(
+                    merging={"seed": int(value)}, representation={"seed": int(value)}
+                )
+            started = time.perf_counter()
+            result = MultiEM(config).match(dataset)
+            elapsed = time.perf_counter() - started
+            report = evaluate(result, dataset)
+            if baseline_time is None:
+                baseline_time = elapsed
+            row: dict[str, object] = {
+                "dataset": name,
+                parameter: value,
+                "F1": round(report.f1, 1),
+                "pair-F1": round(report.pair_f1, 1),
+            }
+            if include_time:
+                row["normalized time"] = round(elapsed / baseline_time, 2) if baseline_time else 1.0
+            rows.append(row)
+    return rows
+
+
+def figure6_gamma(
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    values: Sequence[float] = REPRO_GAMMA_GRID,
+    *,
+    profile: str = "bench",
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figure 6(a): sensitivity to the attribute-selection threshold γ."""
+    return _sweep(dataset_names, "gamma", values, profile=profile, seed=seed, include_time=False)
+
+
+def figure6_seed(
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    values: Sequence[int] = (0, 1, 2, 3),
+    *,
+    profile: str = "bench",
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figure 6(b): sensitivity to the merging order (random seed)."""
+    return _sweep(dataset_names, "seed", values, profile=profile, seed=seed, include_time=False)
+
+
+def figure6_m(
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    values: Sequence[float] = REPRO_M_GRID,
+    *,
+    profile: str = "bench",
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figures 6(c) and 6(d): sensitivity of F1 and running time to m."""
+    return _sweep(dataset_names, "m", values, profile=profile, seed=seed)
+
+
+def figure6_epsilon(
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    values: Sequence[float] = REPRO_EPSILON_GRID,
+    *,
+    profile: str = "bench",
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figures 6(e) and 6(f): sensitivity of F1 and running time to ε."""
+    return _sweep(dataset_names, "epsilon", values, profile=profile, seed=seed)
+
+
+def figure2_strategy_scaling(
+    *,
+    num_sources_values: Sequence[int] = (2, 4, 8),
+    entities_per_source: int = 300,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figure 2 / Lemmas 1-3: pairwise vs chain vs hierarchical merging cost.
+
+    Uses the music generator at a fixed per-source size and varies the number
+    of sources, timing the AutoFJ pairwise/chain drivers against MultiEM's
+    hierarchical merging. The expected shape: pairwise grows quadratically in
+    the number of sources, chain grows super-linearly, hierarchical stays
+    close to linear.
+    """
+    from ..baselines import AutoFuzzyJoin, ChainMatchingDriver, PairwiseMatchingDriver
+    from ..data.generators import GeneratorConfig, MusicGenerator
+
+    rows: list[dict[str, object]] = []
+    for num_sources in num_sources_values:
+        config = GeneratorConfig(
+            num_sources=num_sources, num_entities=entities_per_source, seed=seed
+        )
+        dataset = MusicGenerator(config).generate(f"music-S{num_sources}")
+
+        timings: dict[str, float] = {}
+        started = time.perf_counter()
+        PairwiseMatchingDriver(AutoFuzzyJoin(max_total_entities=None)).match(dataset)
+        timings["pairwise"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        ChainMatchingDriver(AutoFuzzyJoin(max_total_entities=None)).match(dataset)
+        timings["chain"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        MultiEM(paper_default_config("music-20")).match(dataset)
+        timings["hierarchical"] = time.perf_counter() - started
+
+        rows.append(
+            {
+                "sources": num_sources,
+                "entities": dataset.num_entities,
+                "pairwise (s)": round(timings["pairwise"], 2),
+                "chain (s)": round(timings["chain"], 2),
+                "hierarchical (s)": round(timings["hierarchical"], 2),
+            }
+        )
+    return rows

@@ -1,0 +1,101 @@
+"""Experiment runner: run (method, dataset) cells and collect every metric.
+
+One :class:`ExperimentRun` per cell holds effectiveness (Table IV), running
+time (Table V), memory (Table VI), and stage timings (Figure 5), so each
+benchmark only formats a different projection of the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..data.dataset import MultiTableDataset
+from ..data.generators import load_benchmark
+from ..evaluation.metrics import EvaluationReport, evaluate
+from ..evaluation.profiler import format_duration, format_memory, profile_call
+from ..core.result import MatchResult
+from ..exceptions import BaselineUnsupportedError, ReproError
+from .methods import create_method
+
+
+@dataclass
+class ExperimentRun:
+    """Outcome of running one method on one dataset."""
+
+    method: str
+    dataset: str
+    status: str  # "ok", "unsupported", or "error"
+    reason: str = ""
+    report: EvaluationReport | None = None
+    result: MatchResult | None = None
+    elapsed_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    stage_timings: dict[str, float] = field(default_factory=dict)
+
+    # -------------------------------------------------------------- renderers
+    def effectiveness_row(self) -> dict[str, object]:
+        """Row for Table IV (``\\`` marks unsupported runs, as in the paper)."""
+        if self.status != "ok" or self.report is None:
+            marker = "-" if self.status == "unsupported" else "\\"
+            return {"method": self.method, "dataset": self.dataset,
+                    "P": marker, "R": marker, "F1": marker, "pair-F1": marker}
+        row = self.report.as_row()
+        row["method"] = self.method  # registry label (distinguishes ablation variants)
+        return row
+
+    def runtime_row(self) -> dict[str, object]:
+        """Row for Table V."""
+        value = format_duration(self.elapsed_seconds) if self.status == "ok" else "-"
+        return {"method": self.method, "dataset": self.dataset, "time": value,
+                "seconds": round(self.elapsed_seconds, 2) if self.status == "ok" else None}
+
+    def memory_row(self) -> dict[str, object]:
+        """Row for Table VI."""
+        value = format_memory(self.peak_memory_bytes) if self.status == "ok" else "-"
+        return {"method": self.method, "dataset": self.dataset, "memory": value,
+                "bytes": self.peak_memory_bytes if self.status == "ok" else None}
+
+
+def run_experiment(
+    method: str,
+    dataset: MultiTableDataset,
+    *,
+    seed: int = 0,
+) -> ExperimentRun:
+    """Run one method on one (already loaded) dataset, profiling the call."""
+    try:
+        matcher = create_method(method, dataset.name, seed=seed)
+        profiled = profile_call(lambda: matcher.match(dataset))
+        result: MatchResult = profiled.value  # type: ignore[assignment]
+        report = evaluate(result, dataset)
+        return ExperimentRun(
+            method=method,
+            dataset=dataset.name,
+            status="ok",
+            report=report,
+            result=result,
+            elapsed_seconds=profiled.elapsed_seconds,
+            peak_memory_bytes=profiled.peak_memory_bytes,
+            stage_timings=result.timings.as_dict(),
+        )
+    except BaselineUnsupportedError as exc:
+        return ExperimentRun(method=method, dataset=dataset.name, status="unsupported", reason=str(exc))
+    except ReproError as exc:
+        return ExperimentRun(method=method, dataset=dataset.name, status="error", reason=str(exc))
+
+
+def run_matrix(
+    methods: Sequence[str],
+    dataset_names: Sequence[str],
+    *,
+    profile: str = "bench",
+    seed: int = 0,
+) -> list[ExperimentRun]:
+    """Run every method on every dataset (the full Table IV/V/VI matrix)."""
+    runs: list[ExperimentRun] = []
+    for dataset_name in dataset_names:
+        dataset = load_benchmark(dataset_name, profile=profile, seed=seed)
+        for method in methods:
+            runs.append(run_experiment(method, dataset, seed=seed))
+    return runs

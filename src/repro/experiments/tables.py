@@ -1,0 +1,99 @@
+"""Builders for the paper's tables (III, IV, V, VI, VII)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..config import paper_default_config
+from ..core.attribute_selection import select_attributes
+from ..core.representation import EntityRepresenter
+from ..data.generators import DATASET_NAMES, load_benchmark, paper_statistics
+from .methods import TABLE4_METHODS, TABLE5_METHODS
+from .runner import ExperimentRun, run_matrix
+
+
+def table3_dataset_statistics(
+    dataset_names: Sequence[str] = DATASET_NAMES, *, profile: str = "bench", seed: int = 0
+) -> list[dict[str, object]]:
+    """Table III: statistics of the generated datasets next to the paper's."""
+    paper_rows = {row["name"].lower(): row for row in paper_statistics()}
+    rows: list[dict[str, object]] = []
+    for name in dataset_names:
+        dataset = load_benchmark(name, profile=profile, seed=seed)
+        stats = dataset.statistics()
+        paper_row = paper_rows.get(name, {})
+        rows.append(
+            {
+                "name": name,
+                "profile": profile,
+                "sources": stats["sources"],
+                "attributes": stats["attributes"],
+                "entities": stats["entities"],
+                "tuples": stats["tuples"],
+                "pairs": stats["pairs"],
+                "paper entities": paper_row.get("entities", "-"),
+                "paper tuples": paper_row.get("tuples", "-"),
+                "paper pairs": paper_row.get("pairs", "-"),
+            }
+        )
+    return rows
+
+
+def table4_effectiveness(
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    methods: Sequence[str] = TABLE4_METHODS,
+    *,
+    profile: str = "bench",
+    seed: int = 0,
+    runs: Sequence[ExperimentRun] | None = None,
+) -> list[dict[str, object]]:
+    """Table IV: matching performance of every method on every dataset."""
+    runs = list(runs) if runs is not None else run_matrix(methods, dataset_names, profile=profile, seed=seed)
+    return [run.effectiveness_row() for run in runs]
+
+
+def table5_runtime(
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    methods: Sequence[str] = TABLE5_METHODS,
+    *,
+    profile: str = "bench",
+    seed: int = 0,
+    runs: Sequence[ExperimentRun] | None = None,
+) -> list[dict[str, object]]:
+    """Table V: running time comparison."""
+    runs = list(runs) if runs is not None else run_matrix(methods, dataset_names, profile=profile, seed=seed)
+    return [run.runtime_row() for run in runs]
+
+
+def table6_memory(
+    dataset_names: Sequence[str] = DATASET_NAMES,
+    methods: Sequence[str] = TABLE5_METHODS,
+    *,
+    profile: str = "bench",
+    seed: int = 0,
+    runs: Sequence[ExperimentRun] | None = None,
+) -> list[dict[str, object]]:
+    """Table VI: peak memory comparison."""
+    runs = list(runs) if runs is not None else run_matrix(methods, dataset_names, profile=profile, seed=seed)
+    return [run.memory_row() for run in runs]
+
+
+def table7_selected_attributes(
+    dataset_names: Sequence[str] = DATASET_NAMES, *, profile: str = "bench", seed: int = 0
+) -> list[dict[str, object]]:
+    """Table VII: attributes chosen by Algorithm 1 on each dataset."""
+    rows: list[dict[str, object]] = []
+    for name in dataset_names:
+        dataset = load_benchmark(name, profile=profile, seed=seed)
+        config = paper_default_config(name).representation
+        representer = EntityRepresenter(config)
+        selection = select_attributes(dataset, representer, config)
+        rows.append(
+            {
+                "dataset": name,
+                "all attributes": ", ".join(dataset.schema),
+                "selected attributes": ", ".join(selection.selected),
+                "scores": {attr: round(score, 3) for attr, score in selection.scores.items()},
+            }
+        )
+    return rows

@@ -1,0 +1,20 @@
+"""Text substrate: normalization, tokenizers, vocabulary, TF-IDF, hashing."""
+
+from .hashing import bucket, fnv1a_64, signed_bucket
+from .tfidf import TfidfVectorizer, cosine_similarity_sparse
+from .tokenizer import char_ngrams, normalize, text_ngrams, truncate_tokens, word_tokens
+from .vocab import Vocabulary
+
+__all__ = [
+    "normalize",
+    "word_tokens",
+    "char_ngrams",
+    "text_ngrams",
+    "truncate_tokens",
+    "Vocabulary",
+    "TfidfVectorizer",
+    "cosine_similarity_sparse",
+    "fnv1a_64",
+    "bucket",
+    "signed_bucket",
+]

@@ -1,0 +1,35 @@
+"""Deterministic string hashing utilities.
+
+Python's builtin ``hash`` is salted per process, so the embedding substrate
+uses FNV-1a instead: the same token always maps to the same bucket and the
+same sign, which makes embeddings reproducible across runs and processes.
+"""
+
+from __future__ import annotations
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def fnv1a_64(text: str, seed: int = 0) -> int:
+    """64-bit FNV-1a hash of ``text`` mixed with ``seed``."""
+    value = (_FNV_OFFSET ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def bucket(text: str, num_buckets: int, seed: int = 0) -> int:
+    """Map ``text`` to a bucket in ``[0, num_buckets)``."""
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    return fnv1a_64(text, seed) % num_buckets
+
+
+def signed_bucket(text: str, num_buckets: int, seed: int = 0) -> tuple[int, float]:
+    """Map ``text`` to a (bucket, ±1) pair — the hashing-trick projection."""
+    value = fnv1a_64(text, seed)
+    sign = 1.0 if (value >> 63) & 1 else -1.0
+    return value % num_buckets, sign

@@ -1,0 +1,109 @@
+"""TF-IDF vectorizer backed by scipy sparse matrices.
+
+This is the term-frequency substrate for the :class:`TfidfSvdEncoder`
+(a latent-semantic-analysis style Sentence-BERT substitute) and for the
+AutoFuzzyJoin baseline's similarity functions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from ..exceptions import DataError
+from .tokenizer import text_ngrams, word_tokens
+from .vocab import Vocabulary
+
+
+class TfidfVectorizer:
+    """Fit/transform TF-IDF over word tokens or character n-grams.
+
+    Args:
+        analyzer: ``"word"`` or ``"char"`` (character n-grams of words).
+        min_df: minimum document frequency for a term to be kept.
+        ngram_range: (min_n, max_n) for the char analyzer.
+    """
+
+    def __init__(
+        self,
+        analyzer: str = "word",
+        min_df: int = 1,
+        ngram_range: tuple[int, int] = (3, 5),
+    ) -> None:
+        if analyzer not in ("word", "char"):
+            raise DataError(f"unknown analyzer {analyzer!r}")
+        self.analyzer = analyzer
+        self.min_df = min_df
+        self.ngram_range = ngram_range
+        self.vocabulary_: dict[str, int] = {}
+        self.idf_: np.ndarray | None = None
+
+    # -------------------------------------------------------------- analysis
+    def _analyze(self, text: str) -> list[str]:
+        if self.analyzer == "word":
+            return word_tokens(text)
+        return text_ngrams(text, *self.ngram_range)
+
+    # ------------------------------------------------------------------- fit
+    def fit(self, texts: Sequence[str]) -> "TfidfVectorizer":
+        """Learn the vocabulary and IDF weights from ``texts``."""
+        if len(texts) == 0:
+            raise DataError("cannot fit a TF-IDF vectorizer on an empty corpus")
+        documents = [self._analyze(text) for text in texts]
+        vocabulary = Vocabulary.build((" ".join(doc) for doc in documents), min_df=1)
+        # Vocabulary.build re-tokenizes by word; for char analyzer we count
+        # grams directly instead to avoid re-splitting grams with punctuation.
+        df: dict[str, int] = {}
+        for doc in documents:
+            for term in set(doc):
+                df[term] = df.get(term, 0) + 1
+        terms = sorted(term for term, count in df.items() if count >= self.min_df)
+        self.vocabulary_ = {term: i for i, term in enumerate(terms)}
+        num_documents = len(texts)
+        self.idf_ = np.array(
+            [np.log((1 + num_documents) / (1 + df[term])) + 1.0 for term in terms],
+            dtype=np.float64,
+        )
+        del vocabulary
+        return self
+
+    def transform(self, texts: Sequence[str]) -> sparse.csr_matrix:
+        """Transform ``texts`` into an L2-normalized TF-IDF matrix."""
+        if self.idf_ is None:
+            raise DataError("vectorizer must be fitted before transform")
+        rows: list[int] = []
+        cols: list[int] = []
+        values: list[float] = []
+        for row, text in enumerate(texts):
+            counts: dict[int, int] = {}
+            for term in self._analyze(text):
+                index = self.vocabulary_.get(term)
+                if index is not None:
+                    counts[index] = counts.get(index, 0) + 1
+            for index, count in counts.items():
+                rows.append(row)
+                cols.append(index)
+                values.append(count * float(self.idf_[index]))
+        matrix = sparse.csr_matrix(
+            (values, (rows, cols)), shape=(len(texts), len(self.vocabulary_)), dtype=np.float64
+        )
+        norms = sparse.linalg.norm(matrix, axis=1)
+        norms[norms == 0] = 1.0
+        scaling = sparse.diags(1.0 / norms)
+        return scaling @ matrix
+
+    def fit_transform(self, texts: Sequence[str]) -> sparse.csr_matrix:
+        """Fit on ``texts`` then transform them."""
+        return self.fit(texts).transform(texts)
+
+    @property
+    def num_features(self) -> int:
+        """Size of the learned vocabulary."""
+        return len(self.vocabulary_)
+
+
+def cosine_similarity_sparse(a: sparse.csr_matrix, b: sparse.csr_matrix) -> np.ndarray:
+    """Dense cosine-similarity matrix between rows of two L2-normalized sparse matrices."""
+    return np.asarray((a @ b.T).todense())

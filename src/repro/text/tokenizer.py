@@ -1,0 +1,67 @@
+"""Text normalization and tokenization.
+
+Two tokenizers are provided:
+
+* :func:`word_tokens` — whitespace/punctuation word tokens, used by TF-IDF.
+* :func:`char_ngrams` — character n-grams with word-boundary markers, used by
+  the hashed n-gram encoder. Character n-grams are what make the embedding
+  robust to the typos and abbreviations the corruption model (and real data)
+  introduce.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import Iterable
+
+_TOKEN_PATTERN = re.compile(r"[a-z0-9]+(?:\.[0-9]+)?")
+
+
+def normalize(text: str) -> str:
+    """Lowercase, strip accents, and collapse whitespace."""
+    text = unicodedata.normalize("NFKD", text)
+    text = "".join(c for c in text if not unicodedata.combining(c))
+    return " ".join(text.lower().split())
+
+
+def word_tokens(text: str) -> list[str]:
+    """Split normalized text into alphanumeric word tokens."""
+    return _TOKEN_PATTERN.findall(normalize(text))
+
+
+def char_ngrams(token: str, n_min: int = 3, n_max: int = 5, *, boundary: bool = True) -> list[str]:
+    """Character n-grams of one token, optionally padded with boundary markers.
+
+    Short tokens (shorter than ``n_min``) are returned as a single padded
+    gram so no token is dropped entirely.
+    """
+    if n_min < 1 or n_max < n_min:
+        raise ValueError("require 1 <= n_min <= n_max")
+    padded = f"<{token}>" if boundary else token
+    if len(padded) <= n_min:
+        return [padded]
+    grams: list[str] = []
+    for n in range(n_min, n_max + 1):
+        if n > len(padded):
+            break
+        grams.extend(padded[i : i + n] for i in range(len(padded) - n + 1))
+    return grams
+
+
+def text_ngrams(text: str, n_min: int = 3, n_max: int = 5) -> list[str]:
+    """All character n-grams of all word tokens of ``text``."""
+    grams: list[str] = []
+    for token in word_tokens(text):
+        grams.extend(char_ngrams(token, n_min, n_max))
+    return grams
+
+
+def truncate_tokens(tokens: Iterable[str], max_tokens: int) -> list[str]:
+    """Keep the first ``max_tokens`` tokens (paper caps sequences at 64)."""
+    result: list[str] = []
+    for token in tokens:
+        if len(result) >= max_tokens:
+            break
+        result.append(token)
+    return result

@@ -1,0 +1,63 @@
+"""Vocabulary and document-frequency statistics over a corpus of texts."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .tokenizer import word_tokens
+
+
+@dataclass
+class Vocabulary:
+    """Token vocabulary with document frequencies.
+
+    Built once over the serialized corpus, then shared by the TF-IDF
+    vectorizer and the SIF-style token weighting of the hashed encoder.
+    """
+
+    token_to_index: dict[str, int] = field(default_factory=dict)
+    document_frequency: Counter = field(default_factory=Counter)
+    num_documents: int = 0
+
+    @classmethod
+    def build(cls, texts: Iterable[str], min_df: int = 1) -> "Vocabulary":
+        """Build a vocabulary from a corpus, dropping tokens rarer than ``min_df``."""
+        df: Counter = Counter()
+        num_documents = 0
+        for text in texts:
+            num_documents += 1
+            for token in set(word_tokens(text)):
+                df[token] += 1
+        kept = sorted(token for token, count in df.items() if count >= min_df)
+        return cls(
+            token_to_index={token: i for i, token in enumerate(kept)},
+            document_frequency=Counter({token: df[token] for token in kept}),
+            num_documents=num_documents,
+        )
+
+    def __len__(self) -> int:
+        return len(self.token_to_index)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self.token_to_index
+
+    def index(self, token: str) -> int | None:
+        """Index of ``token`` or ``None`` if out of vocabulary."""
+        return self.token_to_index.get(token)
+
+    def idf(self, token: str, *, smooth: bool = True) -> float:
+        """Inverse document frequency of ``token`` (smoothed by default)."""
+        df = self.document_frequency.get(token, 0)
+        if smooth:
+            return float(np.log((1 + self.num_documents) / (1 + df)) + 1.0)
+        if df == 0:
+            return 0.0
+        return float(np.log(self.num_documents / df))
+
+    def idf_vector(self, tokens: Sequence[str]) -> np.ndarray:
+        """IDF weights for a token sequence (out-of-vocabulary gets max weight)."""
+        return np.array([self.idf(token) for token in tokens], dtype=np.float64)

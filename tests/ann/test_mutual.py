@@ -1,0 +1,79 @@
+"""Tests for mutual top-K search (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.ann import BruteForceIndex, create_index, mutual_top_k, top_k_pairs
+from repro.ann.mutual import MutualPair
+from repro.exceptions import ConfigurationError
+
+
+def _unit(rows: list[list[float]]) -> np.ndarray:
+    matrix = np.asarray(rows, dtype=np.float32)
+    return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+
+def test_mutual_top_k_simple_correspondence():
+    a = _unit([[1.0, 0.0], [0.0, 1.0]])
+    b = _unit([[0.9, 0.1], [0.1, 0.9]])
+    pairs = mutual_top_k(a, b, k=1, max_distance=0.5)
+    assert {(p.left, p.right) for p in pairs} == {(0, 0), (1, 1)}
+    assert all(isinstance(p, MutualPair) for p in pairs)
+    assert all(p.distance <= 0.5 for p in pairs)
+
+
+def test_mutual_top_k_threshold_filters():
+    a = _unit([[1.0, 0.0]])
+    b = _unit([[0.0, 1.0]])
+    assert mutual_top_k(a, b, k=1, max_distance=0.5) == []
+
+
+def test_mutual_top_k_empty_inputs():
+    empty = np.zeros((0, 4), dtype=np.float32)
+    other = np.ones((3, 4), dtype=np.float32)
+    assert mutual_top_k(empty, other, k=1, max_distance=1.0) == []
+    assert mutual_top_k(other, empty, k=1, max_distance=1.0) == []
+
+
+def test_mutual_requires_both_directions():
+    # b0 is the nearest neighbour of a0 and a1, but b0's nearest is a0 only.
+    a = _unit([[1.0, 0.0], [0.97, 0.03]])
+    b = _unit([[0.99, 0.01]])
+    pairs = mutual_top_k(a, b, k=1, max_distance=1.0)
+    assert {(p.left, p.right) for p in pairs} == {(0, 0)}
+
+
+def test_mutual_top_k_sorted_by_distance():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(20, 8)).astype(np.float32)
+    b = a + rng.normal(scale=0.05, size=(20, 8)).astype(np.float32)
+    pairs = mutual_top_k(a, b, k=2, max_distance=1.0)
+    distances = [p.distance for p in pairs]
+    assert distances == sorted(distances)
+    assert len(pairs) >= 18  # almost every row pairs with its twin
+
+
+def test_mutual_top_k_backends_agree_on_small_data():
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=(30, 16)).astype(np.float32)
+    b = a + rng.normal(scale=0.01, size=(30, 16)).astype(np.float32)
+    exact = {(p.left, p.right) for p in mutual_top_k(a, b, k=1, max_distance=0.5, backend="brute-force")}
+    hnsw = {(p.left, p.right) for p in mutual_top_k(a, b, k=1, max_distance=0.5, backend="hnsw")}
+    overlap = len(exact & hnsw) / max(len(exact), 1)
+    assert overlap >= 0.9
+
+
+def test_top_k_pairs_respects_distance_cap():
+    vectors = _unit([[1.0, 0.0], [0.0, 1.0]])
+    index = BruteForceIndex().build(vectors)
+    pairs = top_k_pairs(index, vectors, k=2, max_distance=0.1)
+    assert pairs == {(0, 0), (1, 1)}
+
+
+def test_create_index_auto_switches_backend():
+    small = create_index("auto", "cosine", size_hint=10, brute_force_limit=100)
+    large = create_index("auto", "cosine", size_hint=1000, brute_force_limit=100)
+    assert type(small).__name__ == "BruteForceIndex"
+    assert type(large).__name__ == "HNSWIndex"
+    with pytest.raises(ConfigurationError):
+        create_index("annoy", "cosine")

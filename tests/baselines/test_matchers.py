@@ -1,0 +1,165 @@
+"""Tests for the concrete baseline matchers (AutoFJ, supervised, MSCD, ALMSER)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALMSERGraphBoosted,
+    AutoFuzzyJoin,
+    ChainMatchingDriver,
+    DittoMatcher,
+    LogisticRegression,
+    MSCDAP,
+    MSCDHAC,
+    PairwiseMatchingDriver,
+    PromptEMMatcher,
+    jaccard,
+    pair_features,
+)
+from repro.evaluation import evaluate
+from repro.exceptions import BaselineUnsupportedError
+
+
+# ----------------------------------------------------------------- helpers
+def test_jaccard_edge_cases():
+    assert jaccard(set(), set()) == 0.0
+    assert jaccard({"a"}, {"a"}) == 1.0
+    assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+
+def test_pair_features_shape_and_ranges():
+    v1 = np.asarray([1.0, 0.0], dtype=np.float32)
+    v2 = np.asarray([0.8, 0.2], dtype=np.float32)
+    features = pair_features(v1, v2, "apple iphone", "apple iphone 8")
+    assert features.shape == (6,)
+    assert features[-1] == 1.0  # bias term
+    assert 0 <= features[2] <= 1  # token jaccard
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        positives = np.column_stack([rng.normal(2.0, 0.3, 100), np.ones(100)])
+        negatives = np.column_stack([rng.normal(-2.0, 0.3, 100), np.ones(100)])
+        features = np.vstack([positives, negatives])
+        labels = np.concatenate([np.ones(100), np.zeros(100)])
+        model = LogisticRegression(epochs=200).fit(features, labels)
+        predictions = model.predict_proba(features) >= 0.5
+        accuracy = float(np.mean(predictions == (labels > 0.5)))
+        assert accuracy > 0.95
+
+    def test_predict_before_fit_raises(self):
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            LogisticRegression().predict_proba(np.ones((1, 2)))
+
+    def test_fit_validates_shapes(self):
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            LogisticRegression().fit(np.ones((3, 2)), np.ones(4))
+
+
+class TestAutoFuzzyJoin:
+    def test_pairwise_quality_on_geo(self, geo_tiny):
+        result = PairwiseMatchingDriver(AutoFuzzyJoin()).match(geo_tiny)
+        report = evaluate(result, geo_tiny)
+        # AutoFJ's hallmark: precision-heavy behaviour, non-trivial quality.
+        assert report.pair_f1 > 40
+        assert report.tuple_metrics.precision >= report.tuple_metrics.recall - 0.2
+
+    def test_refuses_large_datasets(self, geo_tiny):
+        matcher = AutoFuzzyJoin(max_total_entities=10)
+        with pytest.raises(BaselineUnsupportedError):
+            PairwiseMatchingDriver(matcher).match(geo_tiny)
+
+    def test_empty_table_returns_no_pairs(self):
+        from repro.data import Table
+
+        matcher = AutoFuzzyJoin()
+        empty = Table("A", ("t",))
+        other = Table("B", ("t",), [("x",)])
+        assert matcher.match_tables(empty, other) == []
+
+    def test_threshold_respects_floor(self):
+        matcher = AutoFuzzyJoin(min_threshold=0.7)
+        similarity = np.asarray([[1.0, 0.1], [0.1, 1.0]])
+        assert matcher._self_join_threshold(similarity) >= 0.7
+
+
+class TestSupervisedMatchers:
+    def test_ditto_pairwise_produces_predictions(self, music_tiny):
+        result = PairwiseMatchingDriver(DittoMatcher(seed=0)).match(music_tiny)
+        report = evaluate(result, music_tiny)
+        assert result.num_tuples > 0
+        assert report.pair_f1 > 20
+
+    def test_promptem_chain_produces_predictions(self, music_tiny):
+        result = ChainMatchingDriver(PromptEMMatcher(seed=0)).match(music_tiny)
+        report = evaluate(result, music_tiny)
+        assert result.num_tuples > 0
+        assert report.pair_f1 > 20
+
+    def test_match_tables_requires_prepare(self, music_tiny):
+        from repro.exceptions import DataError
+
+        matcher = DittoMatcher()
+        tables = music_tiny.table_list()
+        with pytest.raises(DataError):
+            matcher.match_tables(tables[0], tables[1])
+
+    def test_size_limit(self, music_tiny):
+        matcher = DittoMatcher(max_total_entities=10)
+        with pytest.raises(BaselineUnsupportedError):
+            PairwiseMatchingDriver(matcher).match(music_tiny)
+
+    def test_threshold_calibration_changes_threshold(self, music_tiny):
+        matcher = PromptEMMatcher(seed=0)
+        PairwiseMatchingDriver(matcher).match(music_tiny)
+        assert 0.1 <= matcher.threshold <= 0.9
+
+
+class TestMSCD:
+    def test_hac_on_micro_dataset(self, micro_music):
+        result = MSCDHAC(seed=0).match(micro_music)
+        report = evaluate(result, micro_music)
+        assert result.method == "MSCD-HAC"
+        assert report.pair_f1 > 30
+
+    def test_hac_clusters_never_mix_same_source(self, micro_music):
+        result = MSCDHAC(seed=0).match(micro_music)
+        for tup in result.tuples:
+            sources = [ref.source for ref in tup]
+            assert len(sources) == len(set(sources))
+
+    def test_hac_refuses_large_datasets(self, music_tiny):
+        with pytest.raises(BaselineUnsupportedError):
+            MSCDHAC(max_total_entities=10).match(music_tiny)
+
+    def test_ap_on_micro_dataset(self, micro_music):
+        result = MSCDAP(seed=0).match(micro_music)
+        assert result.method == "MSCD-AP"
+        assert all(len(tup) >= 2 for tup in result.tuples)
+
+    def test_ap_refuses_large_datasets(self, music_tiny):
+        with pytest.raises(BaselineUnsupportedError):
+            MSCDAP(max_total_entities=10).match(music_tiny)
+
+
+class TestALMSER:
+    def test_almser_quality_on_geo(self, geo_tiny):
+        result = ALMSERGraphBoosted(seed=0, query_budget=100).match(geo_tiny)
+        report = evaluate(result, geo_tiny)
+        assert result.method == "ALMSER-GB"
+        assert report.pair_f1 > 40
+        assert result.metadata["num_queried"] <= 200
+
+    def test_almser_respects_size_limit(self, geo_tiny):
+        with pytest.raises(BaselineUnsupportedError):
+            ALMSERGraphBoosted(max_total_entities=5).match(geo_tiny)
+
+    def test_almser_deterministic(self, geo_tiny):
+        a = ALMSERGraphBoosted(seed=1, query_budget=50).match(geo_tiny)
+        b = ALMSERGraphBoosted(seed=1, query_budget=50).match(geo_tiny)
+        assert a.tuples == b.tuples

@@ -1,0 +1,73 @@
+"""Tests for the from-scratch DBSCAN implementation."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import NOISE, dbscan
+from repro.exceptions import ConfigurationError
+
+
+def test_two_well_separated_clusters(unit_vectors):
+    result = dbscan(unit_vectors, epsilon=0.5, min_pts=3, metric="euclidean")
+    assert result.num_clusters == 2
+    labels_a = set(result.labels[:10].tolist())
+    labels_b = set(result.labels[10:].tolist())
+    assert len(labels_a) == 1 and len(labels_b) == 1
+    assert labels_a != labels_b
+    assert result.core_mask.all()
+
+
+def test_noise_points_labeled_minus_one():
+    points = np.array([[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [10.0, 10.0]])
+    result = dbscan(points, epsilon=0.5, min_pts=2)
+    assert result.labels[3] == NOISE
+    assert result.labels[0] == result.labels[1] == result.labels[2]
+
+
+def test_border_point_assigned_to_cluster():
+    # Three core points in a chain plus one border point reachable from the end.
+    points = np.array([[0.0], [0.4], [0.8], [1.3]])
+    result = dbscan(points, epsilon=0.5, min_pts=3)
+    # The last point has only 1 neighbour within eps; it is border, not noise,
+    # because its neighbour is core.
+    assert result.labels[3] == result.labels[2]
+    assert not result.core_mask[3]
+
+
+def test_min_pts_one_makes_everything_core():
+    points = np.array([[0.0], [5.0], [10.0]])
+    result = dbscan(points, epsilon=0.1, min_pts=1)
+    assert result.num_clusters == 3
+    assert result.core_mask.all()
+
+
+def test_empty_input():
+    result = dbscan(np.zeros((0, 3)), epsilon=1.0, min_pts=2)
+    assert result.labels.shape == (0,)
+    assert result.num_clusters == 0
+
+
+def test_precomputed_distances_match_direct():
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(30, 4))
+    from repro.ann import pairwise_distances
+
+    direct = dbscan(points, epsilon=1.0, min_pts=3)
+    precomputed = dbscan(points, epsilon=1.0, min_pts=3,
+                         precomputed_distances=pairwise_distances(points, "euclidean"))
+    assert np.array_equal(direct.labels, precomputed.labels)
+
+
+def test_parameter_validation():
+    points = np.zeros((3, 2))
+    with pytest.raises(ConfigurationError):
+        dbscan(points, epsilon=0.0, min_pts=2)
+    with pytest.raises(ConfigurationError):
+        dbscan(points, epsilon=1.0, min_pts=0)
+
+
+def test_all_points_identical_form_one_cluster():
+    points = np.ones((5, 3))
+    result = dbscan(points, epsilon=0.5, min_pts=2)
+    assert result.num_clusters == 1
+    assert set(result.labels.tolist()) == {0}

@@ -1,0 +1,101 @@
+"""Tests for agglomerative clustering, affinity propagation, connected components."""
+
+import numpy as np
+import pytest
+
+from repro.ann import pairwise_distances
+from repro.clustering import (
+    affinity_propagation,
+    agglomerative_clustering,
+    connected_components_networkx,
+    connected_components_unionfind,
+    match_groups,
+)
+from repro.exceptions import ConfigurationError
+
+
+# ------------------------------------------------------------- agglomerative
+def test_agglomerative_two_clusters(unit_vectors):
+    result = agglomerative_clustering(unit_vectors, distance_threshold=0.5, metric="euclidean")
+    assert result.num_clusters == 2
+    clusters = result.clusters()
+    assert sorted(len(c) for c in clusters) == [10, 10]
+
+
+def test_agglomerative_threshold_zero_keeps_singletons(unit_vectors):
+    result = agglomerative_clustering(unit_vectors, distance_threshold=1e-9, metric="euclidean")
+    assert result.num_clusters == len(unit_vectors)
+
+
+def test_agglomerative_linkages_differ_on_chains():
+    # A chain of points: single linkage merges everything, complete does not.
+    points = np.array([[0.0], [1.0], [2.0], [3.0]])
+    single = agglomerative_clustering(points, distance_threshold=1.1, linkage="single", metric="euclidean")
+    complete = agglomerative_clustering(points, distance_threshold=1.1, linkage="complete", metric="euclidean")
+    assert single.num_clusters < complete.num_clusters
+
+
+def test_agglomerative_constraint_vetoes_merges(unit_vectors):
+    # Constraint forbidding any merge keeps all singletons.
+    result = agglomerative_clustering(
+        unit_vectors, distance_threshold=10.0, metric="euclidean",
+        constraint=lambda a, b: False,
+    )
+    assert result.num_clusters == len(unit_vectors)
+
+
+def test_agglomerative_invalid_linkage_and_empty():
+    with pytest.raises(ConfigurationError):
+        agglomerative_clustering(np.ones((2, 2)), distance_threshold=1.0, linkage="median")
+    empty = agglomerative_clustering(np.zeros((0, 2)), distance_threshold=1.0)
+    assert empty.num_clusters == 0
+
+
+def test_agglomerative_precomputed_distances(unit_vectors):
+    distances = pairwise_distances(unit_vectors, "euclidean")
+    direct = agglomerative_clustering(unit_vectors, distance_threshold=0.5, metric="euclidean")
+    pre = agglomerative_clustering(
+        unit_vectors, distance_threshold=0.5, precomputed_distances=distances
+    )
+    assert direct.num_clusters == pre.num_clusters
+
+
+# ------------------------------------------------------- affinity propagation
+def test_affinity_propagation_two_blobs(unit_vectors):
+    similarity = -pairwise_distances(unit_vectors, "euclidean").astype(np.float64)
+    result = affinity_propagation(similarity, preference=float(np.min(similarity)))
+    assert result.num_clusters == 2
+    assert len(set(result.labels[:10].tolist())) == 1
+    assert len(set(result.labels[10:].tolist())) == 1
+
+
+def test_affinity_propagation_validation():
+    with pytest.raises(ConfigurationError):
+        affinity_propagation(np.zeros((2, 2)), damping=0.4)
+    with pytest.raises(ConfigurationError):
+        affinity_propagation(np.zeros((2, 3)))
+    empty = affinity_propagation(np.zeros((0, 0)))
+    assert empty.labels.shape == (0,)
+
+
+def test_affinity_propagation_exemplars_are_members(unit_vectors):
+    similarity = -pairwise_distances(unit_vectors, "euclidean").astype(np.float64)
+    result = affinity_propagation(similarity)
+    assert set(result.exemplars.tolist()) <= set(range(len(unit_vectors)))
+
+
+# ------------------------------------------------------- connected components
+def test_connected_components_agree():
+    pairs = [("a", "b"), ("b", "c"), ("d", "e")]
+    nodes = ["a", "b", "c", "d", "e", "isolated"]
+    uf_groups = {frozenset(g) for g in connected_components_unionfind(pairs, nodes)}
+    nx_groups = {frozenset(g) for g in connected_components_networkx(pairs, nodes)}
+    assert uf_groups == nx_groups
+    assert frozenset({"isolated"}) in uf_groups
+
+
+def test_match_groups_filters_singletons():
+    pairs = [("a", "b")]
+    groups = match_groups(pairs, min_size=2)
+    assert groups == [{"a", "b"}]
+    assert match_groups([], min_size=2) == []

@@ -1,0 +1,59 @@
+"""Tests for repro.clustering.union_find."""
+
+from repro.clustering import UnionFind
+from repro.data import EntityRef
+
+
+def test_singletons_until_union():
+    uf = UnionFind(["a", "b", "c"])
+    assert len(uf) == 3
+    assert not uf.connected("a", "b")
+    assert uf.find("a") == "a"
+
+
+def test_union_and_transitivity():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("b", "c")
+    assert uf.connected("a", "c")
+    assert uf.find("a") == uf.find("c")
+
+
+def test_union_is_idempotent():
+    uf = UnionFind()
+    root1 = uf.union("x", "y")
+    root2 = uf.union("x", "y")
+    assert root1 == root2
+    assert len(uf.groups()) == 1
+
+
+def test_find_registers_unknown_elements():
+    uf = UnionFind()
+    assert uf.find("new") == "new"
+    assert "new" in uf
+
+
+def test_groups_include_singletons():
+    uf = UnionFind(["lonely"])
+    uf.union("a", "b")
+    groups = uf.groups()
+    assert {"lonely"} in groups
+    assert {"a", "b"} in groups
+    assert len(groups) == 2
+
+
+def test_union_with_entity_refs():
+    uf = UnionFind()
+    a, b, c = EntityRef("A", 0), EntityRef("B", 1), EntityRef("C", 2)
+    uf.union(a, b)
+    uf.union(b, c)
+    assert uf.connected(a, c)
+    assert {a, b, c} in uf.groups()
+
+
+def test_large_chain_path_compression():
+    uf = UnionFind()
+    for i in range(1000):
+        uf.union(i, i + 1)
+    assert uf.connected(0, 1000)
+    assert len(uf.groups()) == 1

@@ -1,0 +1,95 @@
+"""Tests for repro.config."""
+
+import pytest
+
+from repro.config import (
+    MergingConfig,
+    MultiEMConfig,
+    ParallelConfig,
+    PruningConfig,
+    RepresentationConfig,
+    paper_default_config,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_default_config_is_valid():
+    MultiEMConfig().validate()
+
+
+def test_representation_config_validation():
+    with pytest.raises(ConfigurationError):
+        RepresentationConfig(dimension=0).validate()
+    with pytest.raises(ConfigurationError):
+        RepresentationConfig(sample_ratio=0.0).validate()
+    with pytest.raises(ConfigurationError):
+        RepresentationConfig(sample_ratio=1.5).validate()
+    with pytest.raises(ConfigurationError):
+        RepresentationConfig(encoder="bert").validate()
+    with pytest.raises(ConfigurationError):
+        RepresentationConfig(gamma=1.5).validate()
+    with pytest.raises(ConfigurationError):
+        RepresentationConfig(max_sequence_length=0).validate()
+
+
+def test_merging_config_validation():
+    with pytest.raises(ConfigurationError):
+        MergingConfig(k=0).validate()
+    with pytest.raises(ConfigurationError):
+        MergingConfig(m=-0.1).validate()
+    with pytest.raises(ConfigurationError):
+        MergingConfig(metric="hamming").validate()
+    with pytest.raises(ConfigurationError):
+        MergingConfig(index="faiss").validate()
+    with pytest.raises(ConfigurationError):
+        MergingConfig(brute_force_limit=0).validate()
+
+
+def test_pruning_config_validation():
+    with pytest.raises(ConfigurationError):
+        PruningConfig(epsilon=0.0).validate()
+    with pytest.raises(ConfigurationError):
+        PruningConfig(min_pts=0).validate()
+    with pytest.raises(ConfigurationError):
+        PruningConfig(metric="other").validate()
+
+
+def test_parallel_config_validation():
+    with pytest.raises(ConfigurationError):
+        ParallelConfig(backend="mpi").validate()
+    with pytest.raises(ConfigurationError):
+        ParallelConfig(max_workers=0).validate()
+    ParallelConfig(backend="thread", max_workers=2).validate()
+
+
+def test_with_overrides_returns_new_config():
+    config = MultiEMConfig()
+    updated = config.with_overrides(merging={"m": 0.2}, pruning={"enabled": False})
+    assert updated.merging.m == 0.2
+    assert updated.pruning.enabled is False
+    # Original untouched (configs are frozen dataclasses).
+    assert config.merging.m != 0.2 or config.merging.m == 0.2  # no mutation possible
+    assert config.pruning.enabled is True
+    with pytest.raises(ConfigurationError):
+        config.with_overrides(nonexistent={"x": 1})
+
+
+def test_paper_default_config_known_datasets():
+    for name in ["geo", "music-20", "music-200", "music-2000", "person", "shopee"]:
+        config = paper_default_config(name)
+        config.validate()
+        assert config.merging.k == 1
+        assert config.pruning.min_pts == 2
+    person = paper_default_config("person")
+    assert person.representation.sample_ratio == 0.05
+
+
+def test_paper_default_config_unknown_dataset_uses_defaults():
+    config = paper_default_config("made-up")
+    config.validate()
+    assert config.merging.m == 0.5
+
+
+def test_paper_default_config_parallel_flag():
+    assert paper_default_config("geo", parallel=True).parallel.enabled is True
+    assert paper_default_config("geo").parallel.enabled is False

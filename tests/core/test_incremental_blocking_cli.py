@@ -1,0 +1,127 @@
+"""Tests for incremental matching, the blocking substrate, and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MultiEM, evaluate, paper_default_config
+from repro.blocking import TokenBlocker, neighborhood_candidates
+from repro.cli import main as cli_main
+from repro.core.incremental import IncrementalMultiEM
+from repro.core.representation import EntityRepresenter
+from repro.data import Table
+from repro.exceptions import ConfigurationError, DataError, SchemaError
+
+
+class TestIncrementalMultiEM:
+    def test_fit_then_add_matches_batch_quality(self, music_tiny):
+        config = paper_default_config("music-20")
+        table_names = sorted(music_tiny.tables)
+        initial = music_tiny.subset(table_names[:-1], name="initial")
+        matcher = IncrementalMultiEM(config)
+        matcher.fit(initial)
+        result = matcher.add_table(music_tiny.tables[table_names[-1]])
+        report = evaluate(result, music_tiny)
+        batch_report = evaluate(MultiEM(config).match(music_tiny), music_tiny)
+        # Incremental merging is a single extra merge level; it should stay in
+        # the same quality ballpark as the full batch run.
+        assert report.pair_f1 > batch_report.pair_f1 - 15
+        assert set(matcher.known_sources) == set(table_names)
+
+    def test_add_table_requires_fit(self, music_tiny):
+        matcher = IncrementalMultiEM()
+        with pytest.raises(DataError):
+            matcher.add_table(music_tiny.table_list()[0])
+
+    def test_add_table_schema_checked(self, music_tiny):
+        matcher = IncrementalMultiEM(paper_default_config("music-20"))
+        matcher.fit(music_tiny.subset(sorted(music_tiny.tables)[:2]))
+        with pytest.raises(SchemaError):
+            matcher.add_table(Table("new", ("only",), [("x",)]))
+
+    def test_add_same_source_twice_rejected(self, music_tiny):
+        matcher = IncrementalMultiEM(paper_default_config("music-20"))
+        names = sorted(music_tiny.tables)
+        matcher.fit(music_tiny.subset(names[:2]))
+        with pytest.raises(DataError):
+            matcher.add_table(music_tiny.tables[names[0]])
+
+
+class TestBlocking:
+    def test_token_blocking_recall_on_geo(self, geo_tiny):
+        blocker = TokenBlocker()
+        tables = geo_tiny.table_list()
+        all_pairs = set()
+        for i, left in enumerate(tables):
+            for right in tables[i + 1 :]:
+                pairs, stats = blocker.candidate_pairs(left, right)
+                all_pairs |= pairs
+                assert stats.num_blocks > 0
+        recall = blocker.recall(all_pairs, geo_tiny.truth_pairs())
+        assert recall > 0.8
+
+    def test_token_blocking_skips_huge_blocks(self):
+        rows = [(f"common word{i}",) for i in range(30)]
+        left = Table("L", ("t",), rows)
+        right = Table("R", ("t",), rows)
+        blocker = TokenBlocker(max_block_size=3)
+        pairs, stats = blocker.candidate_pairs(left, right)
+        assert stats.num_skipped_blocks >= 1
+
+    def test_token_blocking_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBlocker(max_block_size=1)
+        with pytest.raises(ConfigurationError):
+            TokenBlocker(min_token_length=0)
+
+    def test_neighborhood_blocking_contains_truth_neighbours(self, geo_tiny, representer):
+        tables = geo_tiny.table_list()[:2]
+        left_emb = representer.encode_table(tables[0])
+        right_emb = representer.encode_table(tables[1])
+        result = neighborhood_candidates(
+            left_emb.refs, left_emb.vectors, right_emb.refs, right_emb.vectors, k=3
+        )
+        assert result.candidates_per_record <= 3 + 1e-9
+        truth_between = {
+            (a, b)
+            for a, b in geo_tiny.truth_pairs()
+            if {a.source, b.source} == {tables[0].name, tables[1].name}
+        }
+        if truth_between:
+            covered = sum(
+                1 for a, b in truth_between
+                if (a, b) in result.pairs or (b, a) in result.pairs
+            )
+            assert covered / len(truth_between) > 0.6
+
+    def test_neighborhood_blocking_validation(self):
+        with pytest.raises(ConfigurationError):
+            neighborhood_candidates([], np.zeros((0, 4)), [], np.zeros((0, 4)), k=0)
+        empty = neighborhood_candidates([], np.zeros((0, 4)), [], np.zeros((0, 4)), k=2)
+        assert empty.pairs == set()
+
+
+class TestCLI:
+    def test_generate_match_evaluate_roundtrip(self, tmp_path, capsys):
+        dataset_dir = tmp_path / "geo"
+        assert cli_main(["generate", "geo", "--profile", "tiny", "--output", str(dataset_dir)]) == 0
+        predictions = tmp_path / "pred.json"
+        assert cli_main(["match", str(dataset_dir), "--output", str(predictions)]) == 0
+        assert predictions.exists()
+        payload = json.loads(predictions.read_text())
+        assert payload and all(len(group) >= 2 for group in payload)
+        assert cli_main(["evaluate", str(dataset_dir), str(predictions)]) == 0
+        output = capsys.readouterr().out
+        assert "F1" in output
+
+    def test_match_benchmark_by_name(self, capsys):
+        assert cli_main(["match", "geo", "--profile", "tiny"]) == 0
+        assert "tuple F1" in capsys.readouterr().out
+
+    def test_report_table7(self, capsys):
+        assert cli_main(["report", "table7", "--datasets", "geo", "--profile", "tiny"]) == 0
+        assert "name" in capsys.readouterr().out
+
+    def test_unknown_dataset_returns_error_code(self):
+        assert cli_main(["match", "/does/not/exist"]) == 2

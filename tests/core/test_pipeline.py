@@ -1,0 +1,100 @@
+"""End-to-end tests for the MultiEM pipeline."""
+
+import pytest
+
+from repro import MultiEM, MultiEMConfig, evaluate, paper_default_config
+from repro.core.result import MatchResult
+
+
+class TestMultiEMPipeline:
+    def test_match_returns_valid_result(self, geo_tiny):
+        result = MultiEM(paper_default_config("geo")).match(geo_tiny)
+        assert isinstance(result, MatchResult)
+        assert result.method == "MultiEM"
+        assert all(len(tup) >= 2 for tup in result.tuples)
+        known = set(geo_tiny.all_refs())
+        for tup in result.tuples:
+            assert all(ref in known for ref in tup)
+
+    def test_effectiveness_on_geo(self, geo_tiny):
+        result = MultiEM(paper_default_config("geo")).match(geo_tiny)
+        report = evaluate(result, geo_tiny)
+        assert report.f1 > 60
+        assert report.pair_f1 > 75
+
+    def test_effectiveness_on_music(self, music_tiny):
+        result = MultiEM(paper_default_config("music-20")).match(music_tiny)
+        report = evaluate(result, music_tiny)
+        assert report.f1 > 50
+        assert report.pair_f1 > 70
+
+    def test_attribute_selection_feeds_pipeline(self, music_tiny):
+        result = MultiEM(paper_default_config("music-20")).match(music_tiny)
+        assert set(result.selected_attributes) == {"title", "artist", "album"}
+        assert set(result.significance_scores) == set(music_tiny.schema)
+
+    def test_without_eer_uses_all_attributes(self, music_tiny):
+        result = MultiEM(paper_default_config("music-20")).without_eer().match(music_tiny)
+        assert result.selected_attributes == music_tiny.schema
+        assert result.significance_scores == {}
+
+    def test_eer_improves_f1_on_geo(self, geo_tiny):
+        # Geo's coordinate columns are pure noise for matching; dropping them
+        # via Algorithm 1 must not hurt and typically helps (Table IV).
+        config = paper_default_config("geo")
+        with_eer = evaluate(MultiEM(config).match(geo_tiny), geo_tiny)
+        without = evaluate(MultiEM(config).without_eer().match(geo_tiny), geo_tiny)
+        assert with_eer.f1 >= without.f1
+
+    def test_without_pruning_keeps_more_or_equal_tuples(self, music_tiny):
+        config = paper_default_config("music-20")
+        pruned = MultiEM(config).match(music_tiny)
+        unpruned = MultiEM(config).without_pruning().match(music_tiny)
+        assert unpruned.num_tuples >= pruned.num_tuples
+
+    def test_parallel_variant_same_predictions(self, geo_tiny):
+        config = paper_default_config("geo")
+        serial = MultiEM(config).match(geo_tiny)
+        parallel = MultiEM(config).parallelized(max_workers=2).match(geo_tiny)
+        assert parallel.method == "MultiEM (parallel)"
+        assert serial.tuples == parallel.tuples
+
+    def test_timings_populated(self, geo_tiny):
+        result = MultiEM(paper_default_config("geo")).match(geo_tiny)
+        timings = result.timings.as_dict()
+        assert timings["total"] > 0
+        assert timings["representation"] >= 0
+        assert timings["merging"] >= 0
+        assert set(timings) == {"attribute_selection", "representation", "merging", "pruning", "total"}
+
+    def test_deterministic_given_seed(self, geo_tiny):
+        config = paper_default_config("geo")
+        first = MultiEM(config).match(geo_tiny)
+        second = MultiEM(config).match(geo_tiny)
+        assert first.tuples == second.tuples
+
+    def test_single_attribute_dataset(self, shopee_tiny):
+        result = MultiEM(paper_default_config("shopee")).match(shopee_tiny)
+        assert result.selected_attributes == ("title",)
+        report = evaluate(result, shopee_tiny)
+        # Shopee is intentionally confusable: the reproduction only asserts the
+        # pipeline produces sane, non-trivial output here.
+        assert 0 <= report.f1 <= 100
+        assert result.num_tuples > 0
+
+    def test_metadata_diagnostics(self, geo_tiny):
+        result = MultiEM(paper_default_config("geo")).match(geo_tiny)
+        assert result.metadata["merge_levels"] >= 2
+        assert result.metadata["num_candidate_tuples"] >= result.num_tuples
+
+    def test_default_constructor_config(self):
+        pipeline = MultiEM()
+        assert isinstance(pipeline.config, MultiEMConfig)
+
+    def test_custom_encoder_through_pipeline(self, geo_tiny):
+        from repro.embedding import TfidfSvdEncoder
+
+        config = paper_default_config("geo").with_overrides(representation={"dimension": 64})
+        pipeline = MultiEM(config, encoder=TfidfSvdEncoder(dimension=64))
+        result = pipeline.match(geo_tiny)
+        assert result.num_tuples > 0

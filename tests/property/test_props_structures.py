@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import UnionFind, connected_components_networkx, connected_components_unionfind
+from repro.core.result import tuples_to_pairs
+from repro.data import EntityRef
+from repro.evaluation import pair_scores, tuple_scores
+from repro.text import char_ngrams, normalize, word_tokens
+
+
+# ----------------------------------------------------------------- union-find
+pairs_strategy = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=0, max_size=60
+)
+
+
+@given(pairs=pairs_strategy)
+@settings(max_examples=60, deadline=None)
+def test_union_find_matches_networkx(pairs):
+    nodes = list(range(31))
+    uf = {frozenset(g) for g in connected_components_unionfind(pairs, nodes)}
+    nx = {frozenset(g) for g in connected_components_networkx(pairs, nodes)}
+    assert uf == nx
+
+
+@given(pairs=pairs_strategy)
+@settings(max_examples=60, deadline=None)
+def test_union_find_transitivity_property(pairs):
+    uf = UnionFind(range(31))
+    for a, b in pairs:
+        uf.union(a, b)
+    # connectedness is an equivalence relation: symmetric and transitive.
+    for a, b in pairs:
+        assert uf.connected(a, b)
+        assert uf.connected(b, a)
+    groups = uf.groups()
+    seen = [element for group in groups for element in group]
+    assert sorted(seen) == sorted(set(seen))  # partition: no element twice
+
+
+# ------------------------------------------------------------------- metrics
+def _refs_from_ints(values: list[int]) -> list[EntityRef]:
+    return [EntityRef(f"S{v % 5}", v) for v in values]
+
+
+tuple_sets = st.lists(
+    st.lists(st.integers(0, 40), min_size=2, max_size=5, unique=True), min_size=0, max_size=10
+)
+
+
+@given(predicted=tuple_sets, truth=tuple_sets)
+@settings(max_examples=60, deadline=None)
+def test_metric_bounds_and_perfect_prediction(predicted, truth):
+    predicted_tuples = {frozenset(_refs_from_ints(group)) for group in predicted}
+    truth_tuples = {frozenset(_refs_from_ints(group)) for group in truth}
+    predicted_tuples = {t for t in predicted_tuples if len(t) >= 2}
+    truth_tuples = {t for t in truth_tuples if len(t) >= 2}
+
+    scores = tuple_scores(predicted_tuples, truth_tuples)
+    assert 0.0 <= scores.precision <= 1.0
+    assert 0.0 <= scores.recall <= 1.0
+    assert 0.0 <= scores.f1 <= 1.0
+    # Predicting exactly the truth gives perfect scores (when truth non-empty).
+    if truth_tuples:
+        perfect = tuple_scores(truth_tuples, truth_tuples)
+        assert perfect.f1 == 1.0
+
+
+@given(groups=tuple_sets)
+@settings(max_examples=60, deadline=None)
+def test_tuples_to_pairs_counts(groups):
+    tuples = {frozenset(_refs_from_ints(g)) for g in groups if len(set(g)) >= 2}
+    pairs = tuples_to_pairs(tuples)
+    # Each pair is canonically ordered and the pair count never exceeds the
+    # sum over tuples of C(|t|, 2).
+    assert all(a < b for a, b in pairs)
+    upper_bound = sum(len(t) * (len(t) - 1) // 2 for t in tuples)
+    assert len(pairs) <= upper_bound
+    if tuples:
+        pair_f1 = pair_scores(pairs, pairs)
+        assert pair_f1.f1 == 1.0
+
+
+# --------------------------------------------------------------------- text
+text_strategy = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd", "Zs"), max_codepoint=0x024F),
+    max_size=80,
+)
+
+
+@given(text=text_strategy)
+@settings(max_examples=80, deadline=None)
+def test_tokenizer_properties(text):
+    tokens = word_tokens(text)
+    assert all(token == token.lower() for token in tokens)
+    assert all(token for token in tokens)
+    # Tokenization is idempotent under re-joining.
+    assert word_tokens(" ".join(tokens)) == tokens
+    assert normalize(normalize(text)) == normalize(text)
+
+
+@given(token=st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789", min_size=1, max_size=20),
+       n_min=st.integers(2, 4), extra=st.integers(0, 2))
+@settings(max_examples=80, deadline=None)
+def test_char_ngrams_properties(token, n_min, extra):
+    n_max = n_min + extra
+    grams = char_ngrams(token, n_min, n_max)
+    assert grams, "every token yields at least one gram"
+    padded = f"<{token}>"
+    assert all(len(g) <= max(n_max, len(padded)) for g in grams)
+    assert all(g in padded for g in grams)

@@ -1,0 +1,61 @@
+"""Tests for repro.text.tokenizer."""
+
+import pytest
+
+from repro.text import char_ngrams, normalize, text_ngrams, truncate_tokens, word_tokens
+
+
+def test_normalize_lowercases_and_strips_accents():
+    assert normalize("  Café  Au   Lait ") == "cafe au lait"
+
+
+def test_word_tokens_alphanumeric():
+    assert word_tokens("Apple iPhone 8 Plus, 64GB (silver)!") == [
+        "apple", "iphone", "8", "plus", "64gb", "silver",
+    ]
+
+
+def test_word_tokens_keeps_decimal_numbers():
+    assert word_tokens("screen 5.5 inch") == ["screen", "5.5", "inch"]
+
+
+def test_word_tokens_empty():
+    assert word_tokens("") == []
+    assert word_tokens("!!! ---") == []
+
+
+def test_char_ngrams_boundary_markers():
+    grams = char_ngrams("abc", 3, 3)
+    assert "<ab" in grams and "bc>" in grams and "abc" in grams
+
+
+def test_char_ngrams_short_token_single_gram():
+    # Padded "ab" -> "<ab>" (length 4) still yields grams; a single character
+    # collapses to one padded gram.
+    assert char_ngrams("a", 3, 5) == ["<a>"]
+    assert set(char_ngrams("ab", 3, 5)) == {"<ab", "ab>", "<ab>"}
+
+
+def test_char_ngrams_range_validation():
+    with pytest.raises(ValueError):
+        char_ngrams("abc", 0, 3)
+    with pytest.raises(ValueError):
+        char_ngrams("abc", 4, 3)
+
+
+def test_char_ngrams_sizes_covered():
+    grams = char_ngrams("abcdef", 3, 4)
+    assert any(len(g) == 3 for g in grams)
+    assert any(len(g) == 4 for g in grams)
+
+
+def test_text_ngrams_union_over_tokens():
+    grams = text_ngrams("ab cd", 3, 3)
+    assert "<ab" in grams and "<cd" in grams
+    assert "ab>" in grams and "cd>" in grams
+
+
+def test_truncate_tokens():
+    assert truncate_tokens(["a", "b", "c"], 2) == ["a", "b"]
+    assert truncate_tokens([], 5) == []
+    assert truncate_tokens(iter("abcde"), 3) == ["a", "b", "c"]
