@@ -2,16 +2,30 @@
 
 Not a paper table, but useful for tracking the cost of the pieces Figure 5
 aggregates: encoding, ANN index construction/query, and density pruning.
+
+``test_bench_hnsw_merge_at_scale`` is the headline number for the batched
+ANN engine: the HNSW-backed mutual top-K merge over two tables of
+``REPRO_BENCH_PROFILE``-dependent size (10k rows under ``bench``/``paper``).
+Reference points on the 10k workload (64-d, near-duplicate pairs, fixed
+seeds): the v0 dict-backed implementation took ~158 s; the array-backed
+batched engine ~50 s (~3.2x) with byte-identical pair output.
+``test_bench_index_cache_extend_vs_rebuild`` measures the cross-level reuse
+path on top of that.
 """
+
+import time
 
 import numpy as np
 import pytest
 
-from repro.ann import BruteForceIndex, HNSWIndex, mutual_top_k
+from repro.ann import BruteForceIndex, HNSWIndex, IndexCache, mutual_top_k
 from repro.clustering import dbscan
 from repro.data.generators import load_benchmark
 from repro.data.serialization import serialize_table
 from repro.embedding import HashedNGramEncoder
+
+#: rows per side of the at-scale merging benchmarks, by profile.
+MERGE_SCALE = {"tiny": 1500, "bench": 10_000, "paper": 10_000}
 
 
 @pytest.fixture(scope="module")
@@ -60,3 +74,54 @@ def test_bench_dbscan_pruning(benchmark, vectors):
     rng = np.random.default_rng(0)
     sample = vectors[rng.choice(len(vectors), size=min(400, len(vectors)), replace=False)]
     benchmark(lambda: dbscan(sample, epsilon=1.0, min_pts=2))
+
+
+@pytest.fixture(scope="module")
+def merge_scale_vectors(bench_profile):
+    """Two near-duplicate tables at the profile's merging scale."""
+    n = MERGE_SCALE.get(bench_profile, MERGE_SCALE["tiny"])
+    rng = np.random.default_rng(42)
+    left = rng.normal(size=(n, 64)).astype(np.float32)
+    right = left[rng.permutation(n)] + rng.normal(scale=0.01, size=(n, 64)).astype(np.float32)
+    return left, right
+
+
+def test_bench_hnsw_merge_at_scale(benchmark, merge_scale_vectors):
+    """The merging stage's bottleneck: HNSW-backed mutual top-K at scale."""
+    left, right = merge_scale_vectors
+
+    def merge():
+        return mutual_top_k(
+            left, right, k=1, max_distance=0.3, backend="hnsw", index_kwargs={"seed": 0}
+        )
+
+    pairs = benchmark.pedantic(merge, rounds=1, iterations=1)
+    print(f"\n  hnsw merge over 2x{len(left)} rows: {len(pairs)} mutual pairs")
+
+
+def test_bench_index_cache_extend_vs_rebuild(merge_scale_vectors):
+    """Cross-level reuse: extending a cached index vs rebuilding from scratch."""
+    left, _ = merge_scale_vectors
+    tail = np.ascontiguousarray(left[:64] + np.float32(0.25))
+    grown = np.concatenate([left, tail])
+
+    started = time.perf_counter()
+    rebuilt = HNSWIndex(seed=0).build(grown)
+    rebuild_seconds = time.perf_counter() - started
+
+    cache = IndexCache(max_entries=2)
+    cache.get_or_build(left, lambda: HNSWIndex(seed=0).build(left))
+    started = time.perf_counter()
+    extended = cache.get_or_build(grown, lambda: HNSWIndex(seed=0).build(grown))
+    extend_seconds = time.perf_counter() - started
+
+    assert cache.stats.prefix_hits == 1
+    got, _ = extended.query(grown[:64], 3)
+    want, _ = rebuilt.query(grown[:64], 3)
+    assert np.array_equal(got, want)  # reuse is exact
+    speedup = rebuild_seconds / max(extend_seconds, 1e-9)
+    print(
+        f"\n  rebuild {rebuild_seconds:.2f}s vs cached extend {extend_seconds:.3f}s "
+        f"({speedup:.0f}x) over {len(grown)} rows"
+    )
+    assert extend_seconds < rebuild_seconds

@@ -1,0 +1,76 @@
+"""Benchmark smoke checks: the ANN merging path at tiny scale.
+
+These run inside tier-1 (the filename matches the default ``test_*`` pattern,
+unlike the heavyweight ``bench_*`` modules) so an accidental performance
+cliff in the ANN layer — e.g. falling back to per-call re-normalization or a
+quadratic candidate scan — fails loudly instead of only showing up when
+someone reruns the full benchmarks. Select them alone with
+``python -m pytest benchmarks -q -m smoke``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.ann import BruteForceIndex, HNSWIndex, IndexCache, mutual_top_k
+
+# Generous ceilings: the operations below take well under a second on any
+# recent machine, so tripping these means an order-of-magnitude regression
+# (or a hang), not noise.
+MERGE_CEILING_SECONDS = 20.0
+EXTEND_CEILING_SECONDS = 5.0
+
+
+@pytest.fixture(scope="module")
+def smoke_vectors() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(600, 64)).astype(np.float32)
+    b = a[rng.permutation(600)] + rng.normal(scale=0.01, size=(600, 64)).astype(np.float32)
+    return a, b
+
+
+@pytest.mark.smoke
+def test_smoke_hnsw_merge_agrees_with_exact_and_is_fast(smoke_vectors):
+    a, b = smoke_vectors
+    started = time.perf_counter()
+    approx = mutual_top_k(a, b, k=1, max_distance=0.3, backend="hnsw")
+    elapsed = time.perf_counter() - started
+    exact = mutual_top_k(a, b, k=1, max_distance=0.3, backend="brute-force")
+    exact_pairs = {(p.left, p.right) for p in exact}
+    approx_pairs = {(p.left, p.right) for p in approx}
+    overlap = len(exact_pairs & approx_pairs) / max(len(exact_pairs), 1)
+    assert overlap >= 0.95, f"HNSW recall collapsed: {overlap:.2%}"
+    assert elapsed < MERGE_CEILING_SECONDS, f"HNSW merge path took {elapsed:.1f}s"
+
+
+@pytest.mark.smoke
+def test_smoke_index_cache_extend_beats_rebuild(smoke_vectors):
+    a, _ = smoke_vectors
+    cache = IndexCache(max_entries=2)
+    cache.get_or_build(a, lambda: HNSWIndex(seed=0).build(a))
+    tail = np.ascontiguousarray(a[:32] + np.float32(0.5))
+    grown = np.concatenate([a, tail])
+    started = time.perf_counter()
+    extended = cache.get_or_build(grown, lambda: HNSWIndex(seed=0).build(grown))
+    elapsed = time.perf_counter() - started
+    assert cache.stats.prefix_hits == 1, "prefix reuse did not trigger"
+    assert extended.size == len(grown)
+    assert elapsed < EXTEND_CEILING_SECONDS, f"prefix extend took {elapsed:.1f}s"
+    # Reuse must be exact: same results as a fresh build.
+    reference = HNSWIndex(seed=0).build(grown)
+    got, _ = extended.query(grown[:32], 3)
+    want, _ = reference.query(grown[:32], 3)
+    assert np.array_equal(got, want)
+
+
+@pytest.mark.smoke
+def test_smoke_brute_force_batched_query(smoke_vectors):
+    a, b = smoke_vectors
+    index = BruteForceIndex(batch_size=128).build(a)
+    started = time.perf_counter()
+    indices, distances = index.query(b, 5)
+    elapsed = time.perf_counter() - started
+    assert indices.shape == (len(b), 5)
+    assert np.isfinite(distances[:, 0]).all()
+    assert elapsed < EXTEND_CEILING_SECONDS, f"brute-force batch query took {elapsed:.1f}s"

@@ -9,6 +9,22 @@ Public API highlights:
 * :mod:`repro.baselines` — pairwise/chain extensions, AutoFJ, MSCD-HAC/AP,
   supervised pair classifiers, ALMSER-GB stand-in.
 * :mod:`repro.experiments` — regenerate every table and figure of the paper.
+
+ANN backends and index reuse
+----------------------------
+The merging stage's mutual top-K searches run on a pluggable ANN layer
+(:mod:`repro.ann`). ``MergingConfig.index`` selects the backend: ``"auto"``
+(exact brute force up to ``brute_force_limit`` rows, HNSW beyond),
+``"brute-force"``, ``"hnsw"`` (knobs: ``hnsw_max_degree``,
+``hnsw_ef_construction``, ``hnsw_ef_search``) or ``"lsh"``. With
+``MergingConfig.index_cache`` enabled (default, capacity
+``index_cache_entries``), indexes built during hierarchical merging are
+reused across levels — and across :meth:`IncrementalMultiEM.add_table`
+calls — whenever reuse is byte-identical to rebuilding (exact content match
+or incremental extension of a prefix), so cached runs return exactly the
+same tuples. ``python -m pytest benchmarks -q -m smoke`` exercises this
+layer at tiny scale; ``benchmarks/bench_substrates.py`` measures it at 10k
+rows.
 """
 
 from .config import (

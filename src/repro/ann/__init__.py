@@ -1,9 +1,42 @@
-"""Approximate nearest-neighbour substrate: brute force, HNSW, LSH, mutual top-K."""
+"""Approximate nearest-neighbour substrate: brute force, HNSW, LSH, mutual top-K.
+
+Backend selection
+-----------------
+Every backend implements :class:`NearestNeighborIndex` (``build`` then batched
+``query``), so the merging stage swaps them via ``MergingConfig.index``:
+
+* ``"auto"`` (default) — exact :class:`BruteForceIndex` when the indexed side
+  has at most ``brute_force_limit`` rows (default 4096, where one blocked
+  distance-matrix pass beats graph construction), :class:`HNSWIndex` above it.
+* ``"brute-force"`` — always exact; the reference the HNSW recall tests
+  compare against.
+* ``"hnsw"`` — array-backed navigable-small-world graph (flat CSR-style
+  neighbour tables, batched distance kernels, incremental ``extend``).
+  Tuned by ``hnsw_max_degree`` / ``hnsw_ef_construction`` / ``hnsw_ef_search``.
+* ``"lsh"`` — sign-random-projection hashing with CSR bucket tables and exact
+  re-ranking; the cheap-and-cheerful option for the design ablation.
+
+Index reuse
+-----------
+:class:`IndexCache` (``MergingConfig.index_cache`` /
+``index_cache_entries``) caches built indexes across the merge hierarchy and
+across ``IncrementalMultiEM.add_table`` calls. Reuse happens only when it is
+byte-identical to a fresh build — an exact content match, or a cached matrix
+that is a prefix of the requested one extended incrementally — so enabling
+the cache never changes pair output.
+
+All distance kernels live in :mod:`repro.ann.distances`;
+:class:`~repro.ann.distances.PreparedVectors` hoists per-row statistics
+(norms / squared norms) out of the per-query hot path while staying
+bit-for-bit compatible with :func:`~repro.ann.distances.distance_matrix`.
+"""
 
 from .base import NearestNeighborIndex
 from .brute_force import BruteForceIndex
+from .cache import IndexCache, IndexCacheStats, fingerprint_vectors
 from .distances import (
     METRICS,
+    PreparedVectors,
     cosine_distance_matrix,
     distance_matrix,
     euclidean_distance_matrix,
@@ -12,18 +45,23 @@ from .distances import (
 )
 from .hnsw import HNSWIndex
 from .lsh import LSHIndex
-from .mutual import MutualPair, create_index, mutual_top_k, top_k_pairs
+from .mutual import MutualPair, create_index, mutual_top_k, resolve_backend, top_k_pairs
 
 __all__ = [
     "NearestNeighborIndex",
     "BruteForceIndex",
     "HNSWIndex",
     "LSHIndex",
+    "IndexCache",
+    "IndexCacheStats",
+    "fingerprint_vectors",
     "MutualPair",
     "create_index",
+    "resolve_backend",
     "mutual_top_k",
     "top_k_pairs",
     "METRICS",
+    "PreparedVectors",
     "distance_matrix",
     "cosine_distance_matrix",
     "euclidean_distance_matrix",

@@ -46,6 +46,19 @@ class NearestNeighborIndex(ABC):
             raise IndexError_("index queried before build()")
         return self._vectors
 
+    def _validate_extension(self, vectors: np.ndarray) -> np.ndarray:
+        """Shared shape/dimension checks for incremental ``extend`` inserts."""
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise IndexError_("expected a 2-d array of vectors")
+        assert self._vectors is not None
+        if vectors.shape[1] != self._vectors.shape[1]:
+            raise IndexError_(
+                f"cannot extend a {self._vectors.shape[1]}-d index "
+                f"with {vectors.shape[1]}-d vectors"
+            )
+        return vectors
+
     @staticmethod
     def _pad(indices: list[int], distances: list[float], k: int) -> tuple[np.ndarray, np.ndarray]:
         """Pad per-query results to exactly ``k`` entries."""

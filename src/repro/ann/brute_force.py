@@ -11,37 +11,65 @@ import numpy as np
 
 from ..exceptions import IndexError_
 from .base import NearestNeighborIndex
-from .distances import distance_matrix
+from .distances import PreparedVectors
 
 
 class BruteForceIndex(NearestNeighborIndex):
-    """Exact top-K search; O(n·q) distance evaluations per query batch."""
+    """Exact top-K search; O(n·q) distance evaluations per query batch.
+
+    The index-side row statistics (norms for cosine, squared norms for
+    euclidean) are prepared once at :meth:`build`, so repeated query batches
+    against the same index skip the per-call re-normalization that
+    :func:`~repro.ann.distances.distance_matrix` would redo. Results are
+    bit-identical to the unprepared kernel.
+    """
 
     def __init__(self, metric: str = "cosine", batch_size: int = 2048) -> None:
         super().__init__(metric)
         if batch_size < 1:
             raise IndexError_("batch_size must be >= 1")
         self.batch_size = batch_size
+        self._prepared: PreparedVectors | None = None
 
     def build(self, vectors: np.ndarray) -> "BruteForceIndex":
         vectors = np.asarray(vectors, dtype=np.float32)
         if vectors.ndim != 2:
             raise IndexError_("expected a 2-d array of vectors")
         self._vectors = vectors
+        self._prepared = PreparedVectors(vectors, self.metric)
         return self
+
+    def extend(self, vectors: np.ndarray) -> "BruteForceIndex":
+        """Append vectors; identical to rebuilding over the concatenation."""
+        if self._vectors is None:
+            return self.build(vectors)
+        vectors = self._validate_extension(vectors)
+        assert self._prepared is not None
+        self._prepared.append(vectors)
+        self._vectors = self._prepared.vectors
+        return self
+
+    def clone(self) -> "BruteForceIndex":
+        """Independent copy; extending the clone leaves the original untouched."""
+        dup = BruteForceIndex(metric=self.metric, batch_size=self.batch_size)
+        dup._vectors = self._vectors
+        dup._prepared = None if self._prepared is None else self._prepared.copy()
+        return dup
 
     def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         vectors = self._require_built()
         queries = np.asarray(queries, dtype=np.float32)
         if k < 1:
             raise IndexError_("k must be >= 1")
+        assert self._prepared is not None
         num_queries = queries.shape[0]
         indices = np.full((num_queries, k), -1, dtype=np.int64)
         distances = np.full((num_queries, k), np.inf, dtype=np.float64)
         effective_k = min(k, vectors.shape[0])
+        prepared_queries = self._prepared.prepare_queries(queries)
         for start in range(0, num_queries, self.batch_size):
             stop = min(start + self.batch_size, num_queries)
-            block = distance_matrix(queries[start:stop], vectors, self.metric)
+            block = self._prepared.block_distances(prepared_queries[start:stop])
             if effective_k < vectors.shape[0]:
                 top = np.argpartition(block, effective_k - 1, axis=1)[:, :effective_k]
             else:

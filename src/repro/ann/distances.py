@@ -13,6 +13,17 @@ from ..exceptions import ConfigurationError
 
 METRICS = ("cosine", "euclidean")
 
+# Single-dispatch clip ufunc: np.clip's wrapper adds ~3x dispatch cost, which
+# matters in the per-expansion ANN kernels. Fall back to a maximum+minimum
+# pair (identical values) if the internal location moves again.
+try:
+    from numpy._core.umath import clip as _clip_ufunc  # numpy >= 2.0
+except ImportError:  # pragma: no cover - depends on numpy version
+    try:
+        from numpy.core.umath import clip as _clip_ufunc  # numpy 1.17 - 1.x
+    except ImportError:
+        _clip_ufunc = None
+
 
 def _check_metric(metric: str) -> None:
     if metric not in METRICS:
@@ -56,6 +67,113 @@ def distance_matrix(a: np.ndarray, b: np.ndarray, metric: str = "cosine") -> np.
 def pairwise_distances(vectors: np.ndarray, metric: str = "euclidean") -> np.ndarray:
     """Symmetric distance matrix among rows of one matrix."""
     return distance_matrix(vectors, vectors, metric)
+
+
+class PreparedVectors:
+    """Distance kernels over a fixed vector set with per-row work hoisted out.
+
+    :func:`distance_matrix` re-normalizes (cosine) or re-computes squared norms
+    (euclidean) of *both* operands on every call. An ANN index issues thousands
+    of small query-to-neighbours calls against the same indexed matrix, so this
+    class precomputes the index-side row statistics once. All arithmetic keeps
+    the exact operation order of :func:`distance_matrix`, and the per-row
+    precomputations are element-wise, so every result is bit-for-bit identical
+    to the unprepared kernel — a requirement for the HNSW regression tests.
+    """
+
+    def __init__(self, vectors: np.ndarray, metric: str = "cosine") -> None:
+        _check_metric(metric)
+        self.metric = metric
+        self.vectors = np.asarray(vectors, dtype=np.float32)
+        self._normed: np.ndarray | None = None
+        self._squared_norms: np.ndarray | None = None
+        self._prepare(self.vectors, append=False)
+
+    def _prepare(self, rows: np.ndarray, *, append: bool) -> None:
+        if self.metric == "cosine":
+            norms = np.linalg.norm(rows, axis=1, keepdims=True)
+            norms[norms == 0] = 1.0
+            normed = rows / norms
+            self._normed = normed if not append else np.concatenate([self._normed, normed])
+        else:
+            squared = (rows * rows).sum(axis=1)
+            self._squared_norms = (
+                squared if not append else np.concatenate([self._squared_norms, squared])
+            )
+
+    @property
+    def size(self) -> int:
+        return int(self.vectors.shape[0])
+
+    def append(self, rows: np.ndarray) -> None:
+        """Add rows to the prepared set (used by incremental index inserts)."""
+        rows = np.asarray(rows, dtype=np.float32)
+        self._prepare(rows, append=True)
+        self.vectors = np.concatenate([self.vectors, rows])
+
+    def copy(self) -> "PreparedVectors":
+        """Shallow copy sharing the (never mutated in place) backing arrays."""
+        dup = object.__new__(PreparedVectors)
+        dup.metric = self.metric
+        dup.vectors = self.vectors
+        dup._normed = self._normed
+        dup._squared_norms = self._squared_norms
+        return dup
+
+    def prepare_queries(self, queries: np.ndarray) -> np.ndarray:
+        """Precompute the query-side row statistics (normalization for cosine)."""
+        queries = np.asarray(queries, dtype=np.float32)
+        if self.metric == "cosine":
+            norms = np.linalg.norm(queries, axis=1, keepdims=True)
+            norms[norms == 0] = 1.0
+            return queries / norms
+        return queries
+
+    def block_distances(self, prepared_queries: np.ndarray, rows: np.ndarray | None = None) -> np.ndarray:
+        """``distance_matrix(queries, vectors[rows])`` without re-normalization.
+
+        ``prepared_queries`` must come from :meth:`prepare_queries`.
+        """
+        if self.metric == "cosine":
+            normed = self._normed if rows is None else self._normed[rows]
+            similarity = prepared_queries @ normed.T
+            # In-place clip(1 - sim, 0, 2); values match np.clip exactly.
+            np.subtract(1.0, similarity, out=similarity)
+            if _clip_ufunc is not None:
+                _clip_ufunc(similarity, 0.0, 2.0, out=similarity)
+            else:
+                np.maximum(similarity, 0.0, out=similarity)
+                np.minimum(similarity, 2.0, out=similarity)
+            return similarity
+        targets = self.vectors if rows is None else self.vectors[rows]
+        target_sq = self._squared_norms if rows is None else self._squared_norms[rows]
+        query_sq = (prepared_queries * prepared_queries).sum(axis=1)[:, None]
+        squared = query_sq + target_sq[None, :] - 2.0 * (prepared_queries @ targets.T)
+        np.maximum(squared, 0.0, out=squared)
+        return np.sqrt(squared)
+
+    def row_distances(self, prepared_query: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Distances from one prepared query vector to ``vectors[rows]`` (1-d).
+
+        Uses a matrix-vector product rather than a 1-row matrix product; the
+        two produce bit-identical dot products (verified by the regression
+        tests), and the matvec form skips two view creations per call — this
+        is the innermost kernel of every HNSW expansion step.
+        """
+        if self.metric == "cosine":
+            similarity = self._normed[rows] @ prepared_query
+            np.subtract(1.0, similarity, out=similarity)
+            if _clip_ufunc is not None:
+                _clip_ufunc(similarity, 0.0, 2.0, out=similarity)
+            else:
+                np.maximum(similarity, 0.0, out=similarity)
+                np.minimum(similarity, 2.0, out=similarity)
+            return similarity
+        products = self.vectors[rows] @ prepared_query
+        query_sq = (prepared_query * prepared_query).sum()
+        squared = query_sq + self._squared_norms[rows] - 2.0 * products
+        np.maximum(squared, 0.0, out=squared)
+        return np.sqrt(squared)
 
 
 def point_distances(query: np.ndarray, points: np.ndarray, metric: str = "cosine") -> np.ndarray:

@@ -13,6 +13,21 @@ Insertion:
 
 Search: greedy descent to layer 1, then an ef-bounded best-first search on
 layer 0, returning the best ``k`` candidates found.
+
+Storage is array-backed: each layer keeps flat numpy neighbour/distance
+tables (one fixed-capacity row per node, CSR-style) instead of per-node
+dicts, and all distance evaluations run through a
+:class:`~repro.ann.distances.PreparedVectors` kernel whose index-side row
+statistics are computed once at build time. Both choices are bit-for-bit
+compatible with the original dict-backed implementation (see
+``tests/ann/test_hnsw_regression.py``) while an expansion step costs one
+``(1, d) @ (d, batch)`` kernel call instead of a full
+:func:`~repro.ann.distances.distance_matrix` evaluation.
+
+The index also supports :meth:`extend` — appending vectors continues the
+level-sampling RNG stream, so ``build(v).extend(w)`` produces byte-identical
+graphs to ``build(concatenate([v, w]))``. :class:`~repro.ann.cache.IndexCache`
+relies on this for cross-level index reuse in the merge hierarchy.
 """
 
 from __future__ import annotations
@@ -24,7 +39,7 @@ import numpy as np
 
 from ..exceptions import IndexError_
 from .base import NearestNeighborIndex
-from .distances import distance_matrix
+from .distances import PreparedVectors
 
 
 class HNSWIndex(NearestNeighborIndex):
@@ -58,59 +73,98 @@ class HNSWIndex(NearestNeighborIndex):
         self.ef_search = ef_search
         self.seed = seed
         self._level_mult = 1.0 / math.log(max_degree)
-        self._graph: list[list[dict[int, float]]] = []  # graph[layer][node] -> {neighbor: dist}
+        # Per-layer flat adjacency: neighbours / distances are (num_nodes, cap)
+        # arrays (cap = max degree + 1 slack for the pre-prune overflow slot).
+        # Degrees are plain Python lists — they are only ever read and written
+        # one scalar at a time, where list indexing beats numpy.
+        self._layer_neighbors: list[np.ndarray] = []
+        self._layer_dists: list[np.ndarray] = []
+        self._layer_degrees: list[list[int]] = []
+        self._prepared: PreparedVectors | None = None
+        self._rng: np.random.Generator | None = None
         self._node_levels: list[int] = []
         self._entry_point: int | None = None
         self._max_level: int = -1
+        # Visit-epoch buffer for the (single-threaded) build path; query()
+        # uses a private buffer per call so concurrent reads stay safe.
+        self._build_stamps: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._build_epoch: int = 0
 
-    # ------------------------------------------------------------- distances
-    def _distance(self, i: int, vector: np.ndarray) -> float:
-        vectors = self._require_built()
-        return float(distance_matrix(vector[None, :], vectors[i][None, :], self.metric)[0, 0])
-
-    def _distances_to(self, nodes: list[int], vector: np.ndarray) -> np.ndarray:
-        vectors = self._require_built()
-        return distance_matrix(vector[None, :], vectors[nodes], self.metric)[0]
+    def _layer_capacity(self, layer: int) -> int:
+        m = self.max_degree * 2 if layer == 0 else self.max_degree
+        return m + 1
 
     # ----------------------------------------------------------- layer search
     def _search_layer(
-        self, query: np.ndarray, entry_points: list[tuple[float, int]], ef: int, layer: int
+        self,
+        prepared_query: np.ndarray,
+        entry_points: list[tuple[float, int]],
+        ef: int,
+        layer: int,
+        stamps: np.ndarray,
+        epoch: int,
     ) -> list[tuple[float, int]]:
         """ef-bounded best-first search on one layer.
 
         Args:
-            query: query vector.
+            prepared_query: query vector preprocessed by
+                ``PreparedVectors.prepare_queries``.
             entry_points: initial ``(distance, node)`` candidates.
             ef: size of the dynamic candidate list.
             layer: which graph layer to traverse.
+            stamps: per-node visit-epoch buffer (``stamps[n] == epoch`` means
+                visited). Epoch stamping avoids zeroing an O(num_nodes)
+                array per search, which would add a quadratic term to build.
+            epoch: the stamp value marking this search's visits; the caller
+                must use a fresh value per search.
 
         Returns:
             Up to ``ef`` best ``(distance, node)`` pairs, unsorted.
         """
-        visited = {node for _, node in entry_points}
+        neighbors_table = self._layer_neighbors[layer]
+        degrees = self._layer_degrees[layer]
+        prepared = self._prepared
+        assert prepared is not None
+        row_distances = prepared.row_distances
+        for _, node in entry_points:
+            stamps[node] = epoch
         candidates = list(entry_points)  # min-heap on distance
         heapq.heapify(candidates)
         # max-heap (negated distances) of the current best ef results
         results = [(-dist, node) for dist, node in entry_points]
         heapq.heapify(results)
+        heappush, heappop = heapq.heappush, heapq.heappop
         while candidates:
-            dist, node = heapq.heappop(candidates)
+            dist, node = heappop(candidates)
             worst = -results[0][0] if results else math.inf
             if dist > worst and len(results) >= ef:
                 break
-            neighbors = [n for n in self._graph[layer][node] if n not in visited]
-            if not neighbors:
+            degree = degrees[node]
+            if not degree:
                 continue
-            visited.update(neighbors)
-            neighbor_dists = self._distances_to(neighbors, query)
-            for neighbor, neighbor_dist in zip(neighbors, neighbor_dists):
-                neighbor_dist = float(neighbor_dist)
+            neighbors = neighbors_table[node, :degree]
+            fresh = neighbors[stamps[neighbors] != epoch]
+            if not fresh.size:
+                continue
+            stamps[fresh] = epoch
+            fresh_dists = row_distances(prepared_query, fresh)
+            if len(results) >= ef:
+                # With the result heap at capacity, ``worst`` only decreases
+                # while this batch is processed, so anything at or beyond the
+                # current worst can never be accepted — reject it vectorized
+                # instead of in the per-neighbour loop below.
+                fresh_keep = fresh_dists < -results[0][0]
+                fresh = fresh[fresh_keep]
+                if not fresh.size:
+                    continue
+                fresh_dists = fresh_dists[fresh_keep]
+            for neighbor, neighbor_dist in zip(fresh.tolist(), fresh_dists.tolist()):
                 worst = -results[0][0] if results else math.inf
                 if len(results) < ef or neighbor_dist < worst:
-                    heapq.heappush(candidates, (neighbor_dist, neighbor))
-                    heapq.heappush(results, (-neighbor_dist, neighbor))
+                    heappush(candidates, (neighbor_dist, neighbor))
+                    heappush(results, (-neighbor_dist, neighbor))
                     if len(results) > ef:
-                        heapq.heappop(results)
+                        heappop(results)
         return [(-negated, node) for negated, node in results]
 
     # ----------------------------------------------------- neighbour selection
@@ -120,14 +174,28 @@ class HNSWIndex(NearestNeighborIndex):
 
     def _connect(self, node: int, neighbors: list[tuple[float, int]], layer: int, m: int) -> None:
         """Bidirectionally connect ``node`` and prune overfull neighbour lists."""
-        graph_layer = self._graph[layer]
-        graph_layer[node] = {neighbor: dist for dist, neighbor in neighbors}
+        neighbors_table = self._layer_neighbors[layer]
+        dists_table = self._layer_dists[layer]
+        degrees = self._layer_degrees[layer]
+        count = len(neighbors)
+        for slot, (dist, neighbor) in enumerate(neighbors):
+            neighbors_table[node, slot] = neighbor
+            dists_table[node, slot] = dist
+        degrees[node] = count
         for dist, neighbor in neighbors:
-            links = graph_layer[neighbor]
-            links[node] = dist
-            if len(links) > m:
-                pruned = sorted(links.items(), key=lambda item: item[1])[:m]
-                graph_layer[neighbor] = dict(pruned)
+            neighbor = int(neighbor)
+            degree = degrees[neighbor]
+            neighbors_table[neighbor, degree] = node
+            dists_table[neighbor, degree] = dist
+            degree += 1
+            if degree > m:
+                # Keep the m closest links; the stable sort mirrors the
+                # insertion-order tie-breaking of Python's ``sorted``.
+                keep = np.argsort(dists_table[neighbor, :degree], kind="stable")[:m]
+                neighbors_table[neighbor, :m] = neighbors_table[neighbor, keep]
+                dists_table[neighbor, :m] = dists_table[neighbor, keep]
+                degree = m
+            degrees[neighbor] = degree
 
     # ------------------------------------------------------------------ build
     def build(self, vectors: np.ndarray) -> "HNSWIndex":
@@ -135,50 +203,144 @@ class HNSWIndex(NearestNeighborIndex):
         if vectors.ndim != 2:
             raise IndexError_("expected a 2-d array of vectors")
         self._vectors = vectors
-        self._graph = []
+        self._prepared = PreparedVectors(vectors, self.metric)
+        self._layer_neighbors = []
+        self._layer_dists = []
+        self._layer_degrees = []
         self._node_levels = []
         self._entry_point = None
         self._max_level = -1
-        rng = np.random.default_rng(self.seed)
+        self._build_stamps = np.zeros(vectors.shape[0], dtype=np.int64)
+        self._build_epoch = 0
+        self._rng = np.random.default_rng(self.seed)
         for node in range(vectors.shape[0]):
-            self._insert(node, vectors[node], rng)
+            self._insert(node)
         return self
 
-    def _ensure_layers(self, level: int) -> None:
-        while len(self._graph) <= level:
-            self._graph.append([dict() for _ in range(len(self._node_levels))])
+    def extend(self, vectors: np.ndarray) -> "HNSWIndex":
+        """Append ``vectors`` to an already-built index (incremental insert).
 
-    def _insert(self, node: int, vector: np.ndarray, rng: np.random.Generator) -> None:
-        level = int(-math.log(max(rng.random(), 1e-12)) * self._level_mult)
+        Insertion continues the level-sampling RNG stream of :meth:`build`, so
+        ``build(v).extend(w)`` is byte-identical to ``build([v; w])``.
+        """
+        if self._vectors is None:
+            return self.build(vectors)
+        vectors = self._validate_extension(vectors)
+        assert self._prepared is not None
+        start = self._vectors.shape[0]
+        self._prepared.append(vectors)
+        self._vectors = self._prepared.vectors
+        for offset in range(vectors.shape[0]):
+            self._insert(start + offset)
+        return self
+
+    def clone(self) -> "HNSWIndex":
+        """Independent copy; extending the clone leaves the original untouched."""
+        dup = HNSWIndex(
+            metric=self.metric,
+            max_degree=self.max_degree,
+            ef_construction=self.ef_construction,
+            ef_search=self.ef_search,
+            seed=self.seed,
+        )
+        dup._vectors = self._vectors
+        dup._prepared = None if self._prepared is None else self._prepared.copy()
+        dup._layer_neighbors = [table.copy() for table in self._layer_neighbors]
+        dup._layer_dists = [table.copy() for table in self._layer_dists]
+        dup._layer_degrees = [table.copy() for table in self._layer_degrees]
+        dup._node_levels = list(self._node_levels)
+        dup._entry_point = self._entry_point
+        dup._max_level = self._max_level
+        dup._build_stamps = self._build_stamps.copy()
+        dup._build_epoch = self._build_epoch
+        if self._rng is not None:
+            dup._rng = np.random.default_rng()
+            dup._rng.bit_generator.state = self._rng.bit_generator.state
+        return dup
+
+    def _ensure_capacity(self, level: int, num_nodes: int) -> None:
+        """Grow the flat adjacency tables to ``level`` layers × ``num_nodes`` rows."""
+        while len(self._layer_neighbors) <= level:
+            layer = len(self._layer_neighbors)
+            capacity = self._layer_capacity(layer)
+            rows = max(num_nodes, 1)
+            self._layer_neighbors.append(np.full((rows, capacity), -1, dtype=np.int64))
+            self._layer_dists.append(np.zeros((rows, capacity), dtype=np.float32))
+            self._layer_degrees.append([0] * rows)
+        if self._build_stamps.shape[0] < num_nodes:
+            grown = np.zeros(max(num_nodes, self._build_stamps.shape[0] * 2), dtype=np.int64)
+            grown[: self._build_stamps.shape[0]] = self._build_stamps
+            self._build_stamps = grown
+        for layer in range(len(self._layer_neighbors)):
+            degrees = self._layer_degrees[layer]
+            if len(degrees) < num_nodes:
+                degrees.extend([0] * (num_nodes - len(degrees)))
+            rows = self._layer_neighbors[layer].shape[0]
+            if rows < num_nodes:
+                grown = max(num_nodes, rows * 2)
+                capacity = self._layer_capacity(layer)
+                neighbors = np.full((grown, capacity), -1, dtype=np.int64)
+                neighbors[:rows] = self._layer_neighbors[layer]
+                dists = np.zeros((grown, capacity), dtype=np.float32)
+                dists[:rows] = self._layer_dists[layer]
+                self._layer_neighbors[layer] = neighbors
+                self._layer_dists[layer] = dists
+
+    def _greedy_descent(
+        self, prepared_query: np.ndarray, entry: int, entry_dist: float, top: int, bottom: int
+    ) -> tuple[int, float]:
+        """Greedy search from layer ``top`` down to (excluding) layer ``bottom``."""
+        prepared = self._prepared
+        assert prepared is not None
+        for layer in range(top, bottom, -1):
+            neighbors_table = self._layer_neighbors[layer]
+            degrees = self._layer_degrees[layer]
+            changed = True
+            while changed:
+                changed = False
+                degree = degrees[entry]
+                if not degree:
+                    break
+                neighbors = neighbors_table[entry, :degree]
+                dists = prepared.row_distances(prepared_query, neighbors)
+                best = int(np.argmin(dists))
+                if float(dists[best]) < entry_dist:
+                    entry, entry_dist = int(neighbors[best]), float(dists[best])
+                    changed = True
+        return entry, entry_dist
+
+    def _insert(self, node: int) -> None:
+        assert self._rng is not None and self._prepared is not None
+        level = int(-math.log(max(self._rng.random(), 1e-12)) * self._level_mult)
         self._node_levels.append(level)
-        for layer in range(len(self._graph)):
-            self._graph[layer].append(dict())
-        self._ensure_layers(level)
+        self._ensure_capacity(level, len(self._node_levels))
 
         if self._entry_point is None:
             self._entry_point = node
             self._max_level = level
             return
 
+        prepared_query = self._prepared.prepare_queries(self._vectors[node][None, :])[0]
         entry = self._entry_point
-        entry_dist = self._distance(entry, vector)
+        entry_dist = float(
+            self._prepared.row_distances(prepared_query, np.asarray([entry], dtype=np.int64))[0]
+        )
         # Greedy descent through layers above the new node's level.
-        for layer in range(self._max_level, level, -1):
-            changed = True
-            while changed:
-                changed = False
-                neighbors = list(self._graph[layer][entry])
-                if not neighbors:
-                    break
-                dists = self._distances_to(neighbors, vector)
-                best = int(np.argmin(dists))
-                if float(dists[best]) < entry_dist:
-                    entry, entry_dist = neighbors[best], float(dists[best])
-                    changed = True
+        entry, entry_dist = self._greedy_descent(
+            prepared_query, entry, entry_dist, self._max_level, level
+        )
         # Insert on every layer at or below the node's level.
         entry_points = [(entry_dist, entry)]
         for layer in range(min(level, self._max_level), -1, -1):
-            candidates = self._search_layer(vector, entry_points, self.ef_construction, layer)
+            self._build_epoch += 1
+            candidates = self._search_layer(
+                prepared_query,
+                entry_points,
+                self.ef_construction,
+                layer,
+                self._build_stamps,
+                self._build_epoch,
+            )
             m = self.max_degree * 2 if layer == 0 else self.max_degree
             neighbors = self._select_neighbors(candidates, m)
             self._connect(node, neighbors, layer, m)
@@ -189,7 +351,7 @@ class HNSWIndex(NearestNeighborIndex):
 
     # ------------------------------------------------------------------ query
     def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        vectors = self._require_built()
+        self._require_built()
         if k < 1:
             raise IndexError_("k must be >= 1")
         queries = np.asarray(queries, dtype=np.float32)
@@ -198,27 +360,25 @@ class HNSWIndex(NearestNeighborIndex):
         distances = np.full((num_queries, k), np.inf, dtype=np.float64)
         if self._entry_point is None:
             return indices, distances
+        prepared = self._prepared
+        assert prepared is not None
         ef = max(self.ef_search, k)
+        # The query block is prepared in one batched kernel call; the
+        # best-first traversals below then gather (1, d) @ (d, batch) blocks.
+        prepared_queries = prepared.prepare_queries(queries)
+        entry_rows = np.asarray([self._entry_point], dtype=np.int64)
+        entry_dists = prepared.block_distances(prepared_queries, entry_rows)[:, 0]
+        # One stamp buffer for the whole batch (private to this call, so
+        # concurrent query() calls on a shared index never collide).
+        stamps = np.zeros(len(self._node_levels), dtype=np.int64)
         for row in range(num_queries):
-            query = queries[row]
-            entry = self._entry_point
-            entry_dist = self._distance(entry, query)
-            for layer in range(self._max_level, 0, -1):
-                changed = True
-                while changed:
-                    changed = False
-                    neighbors = list(self._graph[layer][entry])
-                    if not neighbors:
-                        break
-                    dists = self._distances_to(neighbors, query)
-                    best = int(np.argmin(dists))
-                    if float(dists[best]) < entry_dist:
-                        entry, entry_dist = neighbors[best], float(dists[best])
-                        changed = True
-            found = self._search_layer(query, [(entry_dist, entry)], ef, 0)
+            prepared_query = prepared_queries[row]
+            entry, entry_dist = self._greedy_descent(
+                prepared_query, self._entry_point, float(entry_dists[row]), self._max_level, 0
+            )
+            found = self._search_layer(prepared_query, [(entry_dist, entry)], ef, 0, stamps, row + 1)
             found.sort()
             idx, dist = self._pad([n for _, n in found], [d for d, _ in found], k)
             indices[row] = idx
             distances[row] = dist
-        del vectors
         return indices, distances

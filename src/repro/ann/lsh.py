@@ -4,17 +4,21 @@ A lighter-weight alternative ANN backend: vectors are bucketed by the sign
 pattern of random hyperplane projections; queries probe their own bucket (and
 optionally neighbouring buckets at Hamming distance 1) and re-rank candidates
 exactly. Useful for the design-ablation benchmark comparing ANN backends.
+
+Buckets are stored CSR-style per hash table (sorted signature array + offsets
+into one flat node array) so the probe loop is a batched ``searchsorted``
+over every query × probe signature instead of a Python dict lookup per probe,
+and re-ranking runs through the prepared distance kernel. Results are
+bit-identical to the dict-based implementation.
 """
 
 from __future__ import annotations
-
-from collections import defaultdict
 
 import numpy as np
 
 from ..exceptions import IndexError_
 from .base import NearestNeighborIndex
-from .distances import distance_matrix
+from .distances import PreparedVectors
 
 
 class LSHIndex(NearestNeighborIndex):
@@ -36,7 +40,12 @@ class LSHIndex(NearestNeighborIndex):
         self.probe_neighbors = probe_neighbors
         self.seed = seed
         self._planes: list[np.ndarray] = []
-        self._tables: list[dict[int, list[int]]] = []
+        # CSR bucket layout per hash table: sorted unique signatures, offsets
+        # into the flat node array, and the nodes grouped by signature.
+        self._bucket_signatures: list[np.ndarray] = []
+        self._bucket_offsets: list[np.ndarray] = []
+        self._bucket_nodes: list[np.ndarray] = []
+        self._prepared: PreparedVectors | None = None
 
     def _signature(self, table: int, vectors: np.ndarray) -> np.ndarray:
         projections = vectors @ self._planes[table].T
@@ -49,47 +58,73 @@ class LSHIndex(NearestNeighborIndex):
         if vectors.ndim != 2:
             raise IndexError_("expected a 2-d array of vectors")
         self._vectors = vectors
+        self._prepared = PreparedVectors(vectors, self.metric)
         rng = np.random.default_rng(self.seed)
         dim = vectors.shape[1]
         self._planes = [
             rng.normal(size=(self.num_bits, dim)).astype(np.float32) for _ in range(self.num_tables)
         ]
-        self._tables = []
+        self._bucket_signatures = []
+        self._bucket_offsets = []
+        self._bucket_nodes = []
         for t in range(self.num_tables):
-            buckets: dict[int, list[int]] = defaultdict(list)
             signatures = self._signature(t, vectors)
-            for node, signature in enumerate(signatures):
-                buckets[int(signature)].append(node)
-            self._tables.append(dict(buckets))
+            # Stable sort keeps nodes in insertion (row) order within each
+            # bucket, matching the append order of the old dict layout.
+            order = np.argsort(signatures, kind="stable")
+            unique, counts = np.unique(signatures, return_counts=True)
+            offsets = np.zeros(len(unique) + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            self._bucket_signatures.append(unique)
+            self._bucket_offsets.append(offsets)
+            self._bucket_nodes.append(order.astype(np.int64))
         return self
 
-    def _candidates(self, table: int, signature: int) -> list[int]:
-        found = list(self._tables[table].get(signature, ()))
-        if self.probe_neighbors:
-            for bit in range(self.num_bits):
-                found.extend(self._tables[table].get(signature ^ (1 << bit), ()))
-        return found
+    def _probe_signatures(self, signatures: np.ndarray) -> np.ndarray:
+        """All probed signatures per query: own bucket plus Hamming-1 flips."""
+        if not self.probe_neighbors:
+            return signatures[:, None]
+        flips = np.int64(1) << np.arange(self.num_bits, dtype=np.int64)
+        return np.concatenate([signatures[:, None], signatures[:, None] ^ flips[None, :]], axis=1)
 
     def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        vectors = self._require_built()
+        self._require_built()
         if k < 1:
             raise IndexError_("k must be >= 1")
+        assert self._prepared is not None
         queries = np.asarray(queries, dtype=np.float32)
         num_queries = queries.shape[0]
         indices = np.full((num_queries, k), -1, dtype=np.int64)
         distances = np.full((num_queries, k), np.inf, dtype=np.float64)
-        signatures = [self._signature(t, queries) for t in range(self.num_tables)]
+        prepared_queries = self._prepared.prepare_queries(queries)
+        # Batched bucket lookup: one searchsorted per hash table covers every
+        # (query, probe) pair at once.
+        per_table_hits: list[tuple[np.ndarray, np.ndarray]] = []
+        for t in range(self.num_tables):
+            probes = self._probe_signatures(self._signature(t, queries))
+            buckets = self._bucket_signatures[t]
+            if len(buckets):
+                positions = np.minimum(np.searchsorted(buckets, probes), len(buckets) - 1)
+                valid = buckets[positions] == probes
+            else:
+                positions = np.zeros(probes.shape, dtype=np.int64)
+                valid = np.zeros(probes.shape, dtype=bool)
+            per_table_hits.append((positions, valid))
         for row in range(num_queries):
-            candidate_set: set[int] = set()
+            chunks: list[np.ndarray] = []
             for t in range(self.num_tables):
-                candidate_set.update(self._candidates(t, int(signatures[t][row])))
-            if not candidate_set:
+                positions, valid = per_table_hits[t]
+                offsets = self._bucket_offsets[t]
+                nodes = self._bucket_nodes[t]
+                for bucket in positions[row][valid[row]].tolist():
+                    chunks.append(nodes[offsets[bucket] : offsets[bucket + 1]])
+            if not chunks:
                 continue
-            candidates = sorted(candidate_set)
-            dists = distance_matrix(queries[row][None, :], vectors[candidates], self.metric)[0]
+            candidates = np.unique(np.concatenate(chunks))
+            dists = self._prepared.row_distances(prepared_queries[row], candidates)
             order = np.argsort(dists)[:k]
             idx, dist = self._pad(
-                [candidates[i] for i in order], [float(dists[i]) for i in order], k
+                candidates[order].tolist(), [float(dists[i]) for i in order], k
             )
             indices[row] = idx
             distances[row] = dist

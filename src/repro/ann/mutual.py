@@ -15,6 +15,7 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from .base import NearestNeighborIndex
 from .brute_force import BruteForceIndex
+from .cache import IndexCache
 from .hnsw import HNSWIndex
 from .lsh import LSHIndex
 
@@ -26,6 +27,13 @@ class MutualPair:
     left: int
     right: int
     distance: float
+
+
+def resolve_backend(backend: str, size_hint: int, brute_force_limit: int) -> str:
+    """Resolve the ``"auto"`` backend choice to a concrete backend name."""
+    if backend == "auto":
+        return "brute-force" if size_hint <= brute_force_limit else "hnsw"
+    return backend
 
 
 def create_index(
@@ -44,8 +52,7 @@ def create_index(
     ``"auto"`` chooses brute force for small sides and HNSW for large ones,
     matching the practical advice that graph indexes only pay off at scale.
     """
-    if backend == "auto":
-        backend = "brute-force" if size_hint <= brute_force_limit else "hnsw"
+    backend = resolve_backend(backend, size_hint, brute_force_limit)
     if backend == "brute-force":
         return BruteForceIndex(metric=metric)
     if backend == "hnsw":
@@ -86,6 +93,7 @@ def mutual_top_k(
     backend: str = "auto",
     brute_force_limit: int = 4096,
     index_kwargs: dict | None = None,
+    cache: IndexCache | None = None,
 ) -> list[MutualPair]:
     """Find all mutual top-K pairs between two vector sets (Eq. 1).
 
@@ -99,6 +107,9 @@ def mutual_top_k(
             ``"lsh"``).
         brute_force_limit: size cut-off for the ``"auto"`` backend.
         index_kwargs: extra keyword arguments for :func:`create_index`.
+        cache: optional :class:`~repro.ann.cache.IndexCache` consulted before
+            building either side's index. Reuse is exact (byte-identical to a
+            fresh build), so pair output is unchanged.
 
     Returns:
         List of :class:`MutualPair`, sorted by distance ascending.
@@ -106,12 +117,25 @@ def mutual_top_k(
     if vectors_a.shape[0] == 0 or vectors_b.shape[0] == 0:
         return []
     kwargs = dict(index_kwargs or {})
-    index_b = create_index(
-        backend, metric, size_hint=vectors_b.shape[0], brute_force_limit=brute_force_limit, **kwargs
-    ).build(vectors_b)
-    index_a = create_index(
-        backend, metric, size_hint=vectors_a.shape[0], brute_force_limit=brute_force_limit, **kwargs
-    ).build(vectors_a)
+
+    def build_side(vectors: np.ndarray) -> NearestNeighborIndex:
+        def build() -> NearestNeighborIndex:
+            return create_index(
+                backend,
+                metric,
+                size_hint=vectors.shape[0],
+                brute_force_limit=brute_force_limit,
+                **kwargs,
+            ).build(vectors)
+
+        if cache is None:
+            return build()
+        resolved = resolve_backend(backend, vectors.shape[0], brute_force_limit)
+        params_key = (resolved, metric, tuple(sorted(kwargs.items())))
+        return cache.get_or_build(vectors, build, params_key=params_key)
+
+    index_b = build_side(vectors_b)
+    index_a = build_side(vectors_a)
 
     forward = top_k_pairs(index_b, vectors_a, k, max_distance)  # a -> b
     backward = top_k_pairs(index_a, vectors_b, k, max_distance)  # b -> a

@@ -80,6 +80,11 @@ class MergingConfig:
         brute_force_limit: table size under which exact search is used in
             ``"auto"`` mode.
         hnsw_ef_construction / hnsw_ef_search / hnsw_max_degree: HNSW knobs.
+        index_cache: consult an :class:`repro.ann.cache.IndexCache` before
+            building per-merge ANN indexes, reusing carried-forward indexes
+            across hierarchy levels (and across ``add_table`` calls in the
+            incremental matcher). Reuse is exact, so results are unchanged.
+        index_cache_entries: LRU capacity of that cache.
         seed: seed controlling the random pairing of tables at each hierarchy
             level (Figure 6(b) studies sensitivity to this order).
     """
@@ -92,6 +97,8 @@ class MergingConfig:
     hnsw_ef_construction: int = 100
     hnsw_ef_search: int = 64
     hnsw_max_degree: int = 16
+    index_cache: bool = True
+    index_cache_entries: int = 8
     seed: int = 0
 
     def validate(self) -> None:
@@ -105,6 +112,8 @@ class MergingConfig:
             raise ConfigurationError(f"unknown index backend {self.index!r}")
         if self.brute_force_limit < 1:
             raise ConfigurationError("brute_force_limit must be >= 1")
+        if self.index_cache_entries < 1:
+            raise ConfigurationError("index_cache_entries must be >= 1")
 
 
 @dataclass(frozen=True)

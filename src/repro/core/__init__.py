@@ -9,6 +9,7 @@ from .merging import (
     hierarchical_merge,
     items_from_embeddings,
     merge_two_tables,
+    weighted_mean_vector,
 )
 from .parallel import ParallelExecutor, partition
 from .pipeline import MultiEM
@@ -30,6 +31,7 @@ __all__ = [
     "MergeStats",
     "merge_two_tables",
     "hierarchical_merge",
+    "weighted_mean_vector",
     "items_from_embeddings",
     "candidate_tuples",
     "EntityClassification",

@@ -16,6 +16,7 @@ Usage::
 
 from __future__ import annotations
 
+from ..ann.cache import IndexCache
 from ..config import MultiEMConfig
 from ..data.dataset import MultiTableDataset
 from ..data.entity import EntityRef
@@ -23,6 +24,7 @@ from ..data.table import Table
 from ..exceptions import DataError, SchemaError
 from .attribute_selection import select_attributes
 from .merging import MergeItem, candidate_tuples, hierarchical_merge, items_from_embeddings, merge_two_tables
+from .parallel import ParallelExecutor
 from .pruning import prune_items
 from .representation import EntityRepresenter
 from .result import MatchResult, StageTimings
@@ -40,6 +42,15 @@ class IncrementalMultiEM:
         self._embedding_lookup: dict[EntityRef, object] = {}
         self._known_sources: set[str] = set()
         self._schema: tuple[str, ...] = ()
+        self._executor = ParallelExecutor(self.config.parallel)
+        # A persistent cache makes repeated add_table() calls reuse the index
+        # over the integrated table whenever it was carried forward unchanged
+        # (or merely appended to) by the previous merge.
+        self._index_cache: IndexCache | None = (
+            IndexCache(max_entries=self.config.merging.index_cache_entries)
+            if self.config.merging.index_cache
+            else None
+        )
 
     # ------------------------------------------------------------------- fit
     @property
@@ -59,7 +70,12 @@ class IncrementalMultiEM:
         embeddings = self._representer.encode_dataset(dataset, self._attributes)
         self._embedding_lookup = EntityRepresenter.embedding_lookup(embeddings)
         item_tables = [items_from_embeddings(embeddings[t.name]) for t in dataset.table_list()]
-        integrated, _ = hierarchical_merge(item_tables, self.config.merging)
+        integrated, _ = hierarchical_merge(
+            item_tables,
+            self.config.merging,
+            executor=self._executor,
+            cache=self._index_cache,
+        )
         self._items = integrated
         self._known_sources = set(dataset.tables)
         return self._result()
@@ -80,7 +96,9 @@ class IncrementalMultiEM:
         for ref, vector in zip(embeddings.refs, embeddings.vectors):
             self._embedding_lookup[ref] = vector
         new_items = items_from_embeddings(embeddings)
-        merged, _ = merge_two_tables(self._items, new_items, self.config.merging)
+        merged, _ = merge_two_tables(
+            self._items, new_items, self.config.merging, cache=self._index_cache
+        )
         self._items = merged
         self._known_sources.add(table.name)
         return self._result()
@@ -88,12 +106,17 @@ class IncrementalMultiEM:
     # ---------------------------------------------------------------- result
     def _result(self) -> MatchResult:
         candidates = candidate_tuples(self._items)
-        pruned = prune_items(candidates, self._embedding_lookup, self.config.pruning)
+        pruned = prune_items(
+            candidates, self._embedding_lookup, self.config.pruning, executor=self._executor
+        )
+        method = (
+            "IncrementalMultiEM (parallel)" if self._executor.is_parallel else "IncrementalMultiEM"
+        )
         return MatchResult(
             tuples={frozenset(item.members) for item in pruned},
             selected_attributes=self._attributes,
             timings=StageTimings(),
-            method="IncrementalMultiEM",
+            method=method,
             metadata={"num_sources": len(self._known_sources), "num_items": len(self._items)},
         )
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..ann.cache import IndexCache
 from ..ann.mutual import mutual_top_k
 from ..config import MergingConfig
 from ..data.entity import EntityRef
@@ -58,15 +59,25 @@ def items_from_embeddings(embeddings: TableEmbeddings) -> list[MergeItem]:
     ]
 
 
+def weighted_mean_vector(vectors: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Member-count-weighted, L2-normalized mean of representative vectors.
+
+    This is *the* representative form of the merging stage; the pruning stage
+    reuses it (with unit weights, one per surviving entity) so that pruned
+    items stay consistent with the representatives later merges consume.
+    """
+    weights = np.asarray(weights, dtype=np.float32)
+    pooled = (weights[:, None] * vectors).sum(axis=0) / float(weights.sum())
+    return normalize_rows(pooled[None, :])[0]
+
+
 def _representative_vector(items: list[MergeItem], strategy: str) -> np.ndarray:
     """Representative vector of a merged group of items."""
     stacked = np.stack([item.vector for item in items])
     if strategy == "medoid":
         pooled = medoid_pool(stacked)
-    else:
-        weights = np.array([item.size for item in items], dtype=np.float32)
-        pooled = (weights[:, None] * stacked).sum(axis=0) / float(weights.sum())
-    return normalize_rows(pooled[None, :])[0]
+        return normalize_rows(pooled[None, :])[0]
+    return weighted_mean_vector(stacked, np.array([item.size for item in items], dtype=np.float32))
 
 
 def merge_two_tables(
@@ -75,8 +86,14 @@ def merge_two_tables(
     config: MergingConfig,
     *,
     representative: str = "mean",
+    cache: IndexCache | None = None,
 ) -> tuple[list[MergeItem], int]:
     """Algorithm 3: merge two item tables into one.
+
+    ``cache`` (an :class:`~repro.ann.cache.IndexCache`) lets the mutual top-K
+    step reuse an ANN index built for the same item table at an earlier
+    hierarchy level instead of rebuilding it; reuse is exact, so the merged
+    output is unchanged.
 
     Returns:
         ``(merged_items, num_matched_pairs)`` — the merged table and how many
@@ -102,6 +119,7 @@ def merge_two_tables(
             "hnsw_ef_search": config.hnsw_ef_search,
             "seed": config.seed,
         },
+        cache=cache,
     )
     # Union matched items by transitivity. Items are identified by
     # (side, position); side 0 = left, side 1 = right.
@@ -149,6 +167,7 @@ def hierarchical_merge(
     *,
     executor: ParallelExecutor | None = None,
     representative: str = "mean",
+    cache: IndexCache | None = None,
 ) -> tuple[list[MergeItem], MergeStats]:
     """Algorithm 2: merge all tables hierarchically until one remains.
 
@@ -156,8 +175,16 @@ def hierarchical_merge(
     with an odd number of tables the leftover table passes to the next level
     untouched. Pair merges within a level are independent and are dispatched
     through ``executor`` when one is provided.
+
+    When ``config.index_cache`` is set (the default), per-merge ANN indexes
+    are kept in an :class:`~repro.ann.cache.IndexCache` shared across the
+    whole hierarchy, so a table carried forward unchanged (odd leftovers, or
+    merges that matched nothing) is never re-indexed from scratch. Pass an
+    explicit ``cache`` to share reuse across several hierarchies.
     """
     executor = executor or ParallelExecutor()
+    if cache is None and config.index_cache:
+        cache = IndexCache(max_entries=config.index_cache_entries)
     stats = MergeStats()
     rng = np.random.default_rng(config.seed)
     current: list[list[MergeItem]] = [list(table) for table in tables]
@@ -174,7 +201,9 @@ def hierarchical_merge(
             leftover.append(current[order[-1]])
 
         merge_results = executor.map(
-            lambda pair: merge_two_tables(pair[0], pair[1], config, representative=representative),
+            lambda pair: merge_two_tables(
+                pair[0], pair[1], config, representative=representative, cache=cache
+            ),
             pairs,
         )
         matched_this_level = 0

@@ -16,7 +16,7 @@ import numpy as np
 from ..ann.distances import pairwise_distances
 from ..config import PruningConfig
 from ..data.entity import EntityRef
-from .merging import MergeItem
+from .merging import MergeItem, weighted_mean_vector
 from .parallel import ParallelExecutor, partition
 
 
@@ -80,10 +80,11 @@ def prune_item(
     if len(keep_indices) == item.size:
         return item
     members = tuple(item.members[i] for i in keep_indices)
-    vector = vectors[keep_indices].mean(axis=0)
-    norm = float(np.linalg.norm(vector))
-    if norm > 0:
-        vector = vector / norm
+    # Same member-count-weighted representative the merging stage computes
+    # (each survivor is one entity, weight 1), so pruned items feed later
+    # incremental merges with a consistent vector.
+    survivors = vectors[keep_indices]
+    vector = weighted_mean_vector(survivors, np.ones(len(keep_indices), dtype=np.float32))
     return MergeItem(members=members, vector=vector.astype(np.float32))
 
 

@@ -27,6 +27,10 @@ class CachingEncoder(SentenceEncoder):
 
     def fit(self, texts: Sequence[str]) -> "CachingEncoder":
         self.inner.fit(texts)
+        # Fitting may change the inner encoder's output dimensionality (e.g.
+        # an SVD whose attainable rank depends on the corpus); refresh it so
+        # encode() allocates correctly-shaped results.
+        self.dimension = self.inner.dimension
         self._cache.clear()
         return self
 

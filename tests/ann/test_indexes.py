@@ -133,3 +133,24 @@ class TestLSH:
     def test_size_property(self, points):
         index = LSHIndex().build(points)
         assert index.size == len(points)
+
+    def test_empty_candidate_set_leaves_row_padded(self):
+        # A query hashing to a bucket with no members (and no neighbour
+        # probing) must fall through the empty-candidate path: the result row
+        # keeps its -1 / inf padding instead of crashing or fabricating hits.
+        vectors = np.asarray([[1.0, 0.0, 0.0, 0.0]], dtype=np.float32)
+        index = LSHIndex(num_tables=2, num_bits=8, probe_neighbors=False, seed=0).build(vectors)
+        query = -vectors  # opposite orthant: every sign bit flips
+        indices, distances = index.query(query, 3)
+        assert np.all(indices == -1)
+        assert np.all(np.isinf(distances))
+
+    def test_empty_candidate_rows_mixed_with_hits(self, points):
+        index = LSHIndex(num_tables=1, num_bits=10, probe_neighbors=False, seed=3).build(
+            points[:50]
+        )
+        queries = np.vstack([points[0][None, :], -points[0][None, :]])
+        indices, distances = index.query(queries, 2)
+        assert indices[0, 0] == 0  # own bucket always contains the point itself
+        assert distances[0, 0] <= 1e-6
+        assert indices.shape == (2, 2)

@@ -70,6 +70,54 @@ def test_top_k_pairs_respects_distance_cap():
     assert pairs == {(0, 0), (1, 1)}
 
 
+def test_mutual_top_k_duplicate_vectors_pair_deterministically():
+    # Two identical rows on each side: every directed top-1 is a tie between
+    # the duplicates. The outcome must be deterministic and mutual — running
+    # twice gives the same pairs, and each accepted pair has distance 0.
+    a = _unit([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+    b = _unit([[1.0, 0.0], [1.0, 0.0]])
+    first = mutual_top_k(a, b, k=1, max_distance=0.5)
+    second = mutual_top_k(a, b, k=1, max_distance=0.5)
+    assert [(p.left, p.right) for p in first] == [(p.left, p.right) for p in second]
+    assert all(p.distance == 0.0 for p in first)
+    assert len(first) >= 1
+    # Left row 2 is orthogonal to everything in b — never paired.
+    assert all(p.left != 2 for p in first)
+
+
+def test_mutual_top_k_with_k2_ties_keep_both_duplicates():
+    # With k=2 the tie is moot: both duplicates are in each other's top-2,
+    # so all four (left, right) combinations of the duplicate pairs appear.
+    a = _unit([[1.0, 0.0], [1.0, 0.0]])
+    b = _unit([[1.0, 0.0], [1.0, 0.0]])
+    pairs = mutual_top_k(a, b, k=2, max_distance=0.5)
+    assert {(p.left, p.right) for p in pairs} == {(0, 0), (0, 1), (1, 0), (1, 1)}
+    assert all(p.distance == 0.0 for p in pairs)
+
+
+def test_mutual_top_k_tied_distances_sorted_stably():
+    # Sorting ties on (distance, left, right) keeps the output reproducible.
+    a = _unit([[1.0, 0.0], [0.0, 1.0]])
+    b = _unit([[1.0, 0.0], [0.0, 1.0]])
+    pairs = mutual_top_k(a, b, k=1, max_distance=0.5)
+    keys = [(p.distance, p.left, p.right) for p in pairs]
+    assert keys == sorted(keys)
+
+
+def test_mutual_top_k_backends_agree_on_duplicates():
+    duplicates = _unit([[1.0, 0.0]] * 3 + [[0.0, 1.0]] * 2)
+    for backend in ("brute-force", "hnsw", "lsh"):
+        pairs = mutual_top_k(duplicates, duplicates, k=1, max_distance=0.1, backend=backend)
+        rerun = mutual_top_k(duplicates, duplicates, k=1, max_distance=0.1, backend=backend)
+        # Tie-breaking among identical vectors is deterministic...
+        assert [(p.left, p.right) for p in pairs] == [(p.left, p.right) for p in rerun]
+        # ...every accepted pair joins rows from the same duplicate group...
+        assert pairs and all(p.distance == 0.0 for p in pairs)
+        assert all((p.left < 3) == (p.right < 3) for p in pairs)
+        # ...and self-pairs (i, i) are always mutual, so both groups appear.
+        assert {p.left < 3 for p in pairs} == {True, False}
+
+
 def test_create_index_auto_switches_backend():
     small = create_index("auto", "cosine", size_hint=10, brute_force_limit=100)
     large = create_index("auto", "cosine", size_hint=1000, brute_force_limit=100)

@@ -24,6 +24,38 @@ CORPUS = [
 ]
 
 
+class _LateDimensionEncoder:
+    """Encoder whose true dimension is only known after fitting (like a
+    corpus-rank-limited SVD)."""
+
+    def __init__(self, declared: int) -> None:
+        self.dimension = declared
+
+    def fit(self, texts):
+        # The attainable rank turns out smaller than declared.
+        self.dimension = min(self.dimension, len(texts))
+        return self
+
+    def encode(self, texts):
+        out = np.zeros((len(texts), self.dimension), dtype=np.float32)
+        out[:, 0] = 1.0
+        return out
+
+
+def test_caching_encoder_refreshes_dimension_after_fit():
+    inner = _LateDimensionEncoder(declared=128)
+    caching = CachingEncoder(inner)
+    assert caching.dimension == 128
+    caching.fit(CORPUS)  # inner dimension collapses to len(CORPUS)
+    assert caching.dimension == inner.dimension == len(CORPUS)
+    encoded = caching.encode(CORPUS[:3])
+    assert encoded.shape == (3, len(CORPUS))
+    # Cached re-encode keeps the corrected shape too.
+    again = caching.encode(CORPUS[:3])
+    assert again.shape == (3, len(CORPUS))
+    assert caching.hits > 0
+
+
 def test_normalize_rows_unit_norm_and_zero_rows():
     matrix = np.array([[3.0, 4.0], [0.0, 0.0]])
     normalized = normalize_rows(matrix)
