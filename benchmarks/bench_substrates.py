@@ -8,9 +8,10 @@ ANN engine: the HNSW-backed mutual top-K merge over two tables of
 ``REPRO_BENCH_PROFILE``-dependent size (10k rows under ``bench``/``paper``).
 Reference points on the 10k workload (64-d, near-duplicate pairs, fixed
 seeds): the v0 dict-backed implementation took ~158 s; the array-backed
-batched engine ~50 s (~3.2x) with byte-identical pair output.
-``test_bench_index_cache_extend_vs_rebuild`` measures the cross-level reuse
-path on top of that.
+batched engine ~50 s (~3.2x); the runtime-compiled native kernel
+(``repro/ann/native.py``) ~7.7 s (~20x over seed) — all three with
+byte-identical pair output. ``test_bench_index_cache_extend_vs_rebuild``
+measures the cross-level reuse path on top of that.
 """
 
 import time

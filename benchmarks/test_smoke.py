@@ -65,6 +65,25 @@ def test_smoke_index_cache_extend_beats_rebuild(smoke_vectors):
 
 
 @pytest.mark.smoke
+def test_smoke_pipeline_module_times():
+    """Tiny end-to-end pipeline run; appends its timings to BENCH_pipeline.json.
+
+    Keeps the per-module benchmark harness (bench_pipeline.py) exercised by
+    tier-1 and catches order-of-magnitude pipeline regressions early.
+    """
+    from bench_pipeline import _format_record, run_pipeline_bench, write_bench_record
+
+    started = time.perf_counter()
+    record = run_pipeline_bench("music-20", "tiny")
+    elapsed = time.perf_counter() - started
+    write_bench_record(record)
+    print("\n  " + _format_record(record))
+    assert record["num_tuples"] > 0
+    assert all(value >= 0 for value in record["stages"].values())
+    assert elapsed < MERGE_CEILING_SECONDS, f"tiny pipeline took {elapsed:.1f}s"
+
+
+@pytest.mark.smoke
 def test_smoke_brute_force_batched_query(smoke_vectors):
     a, b = smoke_vectors
     index = BruteForceIndex(batch_size=128).build(a)

@@ -13,6 +13,15 @@ Every backend implements :class:`NearestNeighborIndex` (``build`` then batched
 * ``"hnsw"`` — array-backed navigable-small-world graph (flat CSR-style
   neighbour tables, batched distance kernels, incremental ``extend``).
   Tuned by ``hnsw_max_degree`` / ``hnsw_ef_construction`` / ``hnsw_ef_search``.
+  With a C toolchain present *and* a wheel-bundled ILP64 OpenBLAS (the
+  ``scipy-openblas64`` builds standard numpy/scipy wheels ship — MKL- or
+  distro-linked numpy is not recognized), the insert/search loops run
+  through the runtime-compiled native kernel (:mod:`repro.ann.native`) —
+  same algorithm, same OpenBLAS calls, byte-identical graphs and results
+  (gated by a load-time self-test). Otherwise the pure-Python loops run,
+  with the reason recorded in ``repro.ann.native.disabled_reason``;
+  ``REPRO_NATIVE=0`` forces the fallback, ``REPRO_NATIVE=require`` makes
+  unavailability a hard error.
 * ``"lsh"`` — sign-random-projection hashing with CSR bucket tables and exact
   re-ranking; the cheap-and-cheerful option for the design ablation.
 
@@ -37,6 +46,7 @@ from .cache import IndexCache, IndexCacheStats, fingerprint_vectors
 from .distances import (
     METRICS,
     PreparedVectors,
+    batched_pairwise_distances,
     cosine_distance_matrix,
     distance_matrix,
     euclidean_distance_matrix,
@@ -66,5 +76,6 @@ __all__ = [
     "cosine_distance_matrix",
     "euclidean_distance_matrix",
     "pairwise_distances",
+    "batched_pairwise_distances",
     "point_distances",
 ]

@@ -1,0 +1,458 @@
+/* Native HNSW insert/search kernel.
+ *
+ * This file is compiled at runtime by repro/ann/native.py (plain `gcc -O2
+ * -shared -fPIC`, no build system) and drives the same algorithm as the
+ * pure-Python HNSWIndex — bit for bit.  The byte-identity argument:
+ *
+ *  - Every distance evaluation calls the *same* OpenBLAS routines the numpy
+ *    path calls, through function pointers resolved from numpy's own bundled
+ *    shared library: `cblas_sgemv` (row-major, NoTrans) for >= 2 rows and
+ *    `cblas_sdot` for a single row, mirroring numpy's dispatch for
+ *    `(k, d) @ (d,)`.  The surrounding float32 arithmetic (1 - sim, clip,
+ *    q² + n² - 2p, sqrt) is a fixed sequence of individually-rounded IEEE
+ *    ops identical to the numpy ufunc chain.
+ *  - The best-first search pops candidates in a strict total order
+ *    ((distance, node) lexicographic — node ids are unique), so heap
+ *    *content* after any push/pop sequence is implementation-independent;
+ *    Python's heapq and the binary heap below produce identical result sets.
+ *  - Neighbour selection sorts by the same strict total order, and the
+ *    overflow prune replicates `np.argsort(kind="stable")` with a stable
+ *    insertion sort.
+ *
+ * The Python wrapper verifies all of this empirically at load time (build +
+ * query byte-comparison against the pure-Python path) and refuses to enable
+ * the kernel otherwise; `tests/ann/` re-checks it on every run.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+typedef int64_t blasint;
+
+/* CBLAS constants (values fixed by the CBLAS standard). */
+#define CBLAS_ROW_MAJOR 101
+#define CBLAS_NO_TRANS 111
+
+typedef void (*sgemv_fn_t)(int order, int trans, blasint m, blasint n, float alpha,
+                           const float *a, blasint lda, const float *x, blasint incx,
+                           float beta, float *y, blasint incy);
+typedef float (*sdot_fn_t)(blasint n, const float *x, blasint incx, const float *y,
+                           blasint incy);
+
+static sgemv_fn_t sgemv_fn = 0;
+static sdot_fn_t sdot_fn = 0;
+
+void hnsw_set_blas(void *sgemv_ptr, void *sdot_ptr) {
+    sgemv_fn = (sgemv_fn_t)sgemv_ptr;
+    sdot_fn = (sdot_fn_t)sdot_ptr;
+}
+
+/* ------------------------------------------------------------------ state */
+
+#define METRIC_COSINE 0
+#define METRIC_EUCLIDEAN 1
+
+typedef struct {
+    const float *base;     /* (n, d) normed rows (cosine) or raw rows (euclidean) */
+    const float *sq_norms; /* (n,) squared norms, euclidean only */
+    int64_t d;
+    int metric;
+    int num_layers;
+    int64_t **neighbors; /* per layer: (n, cap) int64 */
+    float **dists;       /* per layer: (n, cap) float32 */
+    int64_t **degrees;   /* per layer: (n,) int64 */
+    const int64_t *caps; /* per layer capacity */
+    int64_t max_degree;
+} graph_t;
+
+typedef struct {
+    float dist;
+    int64_t node;
+} item_t;
+
+/* (dist, node) lexicographic — the order of Python's (distance, node) tuples. */
+static inline int lt_min(item_t a, item_t b) {
+    return a.dist < b.dist || (a.dist == b.dist && a.node < b.node);
+}
+/* order of Python's (-distance, node) tuples: larger distance first, node tiebreak. */
+static inline int lt_max(item_t a, item_t b) {
+    return a.dist > b.dist || (a.dist == b.dist && a.node < b.node);
+}
+
+#define HEAP_OPS(NAME, LT)                                                              \
+    static void NAME##_push(item_t *heap, int64_t *size, item_t value) {                \
+        int64_t pos = (*size)++;                                                        \
+        heap[pos] = value;                                                              \
+        while (pos > 0) {                                                               \
+            int64_t parent = (pos - 1) >> 1;                                            \
+            if (LT(heap[pos], heap[parent])) {                                          \
+                item_t tmp = heap[parent];                                              \
+                heap[parent] = heap[pos];                                               \
+                heap[pos] = tmp;                                                        \
+                pos = parent;                                                           \
+            } else {                                                                    \
+                break;                                                                  \
+            }                                                                           \
+        }                                                                               \
+    }                                                                                   \
+    static item_t NAME##_pop(item_t *heap, int64_t *size) {                             \
+        item_t top = heap[0];                                                           \
+        item_t last = heap[--(*size)];                                                  \
+        int64_t pos = 0;                                                                \
+        for (;;) {                                                                      \
+            int64_t child = 2 * pos + 1;                                                \
+            if (child >= *size) break;                                                  \
+            if (child + 1 < *size && LT(heap[child + 1], heap[child])) child += 1;      \
+            if (LT(heap[child], last)) {                                                \
+                heap[pos] = heap[child];                                                \
+                pos = child;                                                            \
+            } else {                                                                    \
+                break;                                                                  \
+            }                                                                           \
+        }                                                                               \
+        heap[pos] = last;                                                               \
+        return top;                                                                     \
+    }
+
+HEAP_OPS(minheap, lt_min)
+HEAP_OPS(maxheap, lt_max)
+
+/* ----------------------------------------------------------- distances */
+
+/* distances from the prepared query to base[rows], replicating
+ * PreparedVectors.row_distances (including numpy's k == 1 sdot dispatch). */
+static void row_distances(const graph_t *g, const float *query, float query_sq,
+                          const int64_t *rows, int64_t k, float *gather, float *out) {
+    int64_t d = g->d;
+    for (int64_t i = 0; i < k; i++) {
+        memcpy(gather + i * d, g->base + rows[i] * d, (size_t)d * sizeof(float));
+    }
+    if (k == 1) {
+        out[0] = sdot_fn(d, gather, 1, query, 1);
+    } else {
+        sgemv_fn(CBLAS_ROW_MAJOR, CBLAS_NO_TRANS, k, d, 1.0f, gather, d, query, 1, 0.0f,
+                 out, 1);
+    }
+    /* Clip via "replace only when strictly out of range" so NaN passes
+     * through untouched, exactly like np.maximum / np.clip on the numpy
+     * path (fmaxf-style branches would map NaN to the bound instead). */
+    if (g->metric == METRIC_COSINE) {
+        for (int64_t i = 0; i < k; i++) {
+            float x = 1.0f - out[i];
+            if (x < 0.0f) x = 0.0f;
+            if (x > 2.0f) x = 2.0f;
+            out[i] = x;
+        }
+    } else {
+        for (int64_t i = 0; i < k; i++) {
+            float sq = (query_sq + g->sq_norms[rows[i]]) - 2.0f * out[i];
+            if (sq < 0.0f) sq = 0.0f;
+            out[i] = sqrtf(sq);
+        }
+    }
+}
+
+/* ------------------------------------------------------------- traversal */
+
+typedef struct {
+    item_t *cand;    /* min-heap scratch */
+    item_t *result;  /* max-heap scratch */
+    item_t *found;   /* search output buffer (>= ef entries) */
+    int64_t *fresh;  /* unvisited-neighbour ids, cap entries */
+    float *gather;   /* (cap, d) gather buffer */
+    float *dist;     /* cap distances */
+    int64_t *stamps; /* (n,) visit epochs */
+} scratch_t;
+
+static int64_t search_layer(const graph_t *g, const float *query, float query_sq,
+                            const item_t *entries, int64_t num_entries, int64_t ef,
+                            int layer, int64_t epoch, scratch_t *s) {
+    const int64_t cap = g->caps[layer];
+    const int64_t *neighbors_table = g->neighbors[layer];
+    const float *dists_table = (const float *)g->dists[layer];
+    const int64_t *degrees = g->degrees[layer];
+    (void)dists_table;
+    int64_t cand_size = 0, res_size = 0;
+    for (int64_t i = 0; i < num_entries; i++) {
+        s->stamps[entries[i].node] = epoch;
+    }
+    for (int64_t i = 0; i < num_entries; i++) {
+        minheap_push(s->cand, &cand_size, entries[i]);
+        maxheap_push(s->result, &res_size, entries[i]);
+    }
+    while (cand_size > 0) {
+        item_t current = minheap_pop(s->cand, &cand_size);
+        float worst = res_size > 0 ? s->result[0].dist : INFINITY;
+        if (current.dist > worst && res_size >= ef) break;
+        int64_t degree = degrees[current.node];
+        if (degree == 0) continue;
+        const int64_t *row = neighbors_table + current.node * cap;
+        int64_t num_fresh = 0;
+        for (int64_t j = 0; j < degree; j++) {
+            int64_t neighbor = row[j];
+            if (s->stamps[neighbor] != epoch) {
+                s->stamps[neighbor] = epoch;
+                s->fresh[num_fresh++] = neighbor;
+            }
+        }
+        if (num_fresh == 0) continue;
+        row_distances(g, query, query_sq, s->fresh, num_fresh, s->gather, s->dist);
+        int res_full = res_size >= ef;
+        float worst0 = res_size > 0 ? s->result[0].dist : INFINITY;
+        for (int64_t j = 0; j < num_fresh; j++) {
+            float nd = s->dist[j];
+            if (res_full && !(nd < worst0)) continue;
+            worst = res_size > 0 ? s->result[0].dist : INFINITY;
+            if (res_size < ef || nd < worst) {
+                item_t it = {nd, s->fresh[j]};
+                minheap_push(s->cand, &cand_size, it);
+                maxheap_push(s->result, &res_size, it);
+                if (res_size > ef) maxheap_pop(s->result, &res_size);
+            }
+        }
+    }
+    memcpy(s->found, s->result, (size_t)res_size * sizeof(item_t));
+    return res_size;
+}
+
+static void greedy_descent(const graph_t *g, const float *query, float query_sq,
+                           int64_t *entry, float *entry_dist, int64_t top,
+                           int64_t bottom, scratch_t *s) {
+    for (int64_t layer = top; layer > bottom; layer--) {
+        const int64_t cap = g->caps[layer];
+        const int64_t *neighbors_table = g->neighbors[layer];
+        const int64_t *degrees = g->degrees[layer];
+        int changed = 1;
+        while (changed) {
+            changed = 0;
+            int64_t degree = degrees[*entry];
+            if (degree == 0) break;
+            const int64_t *row = neighbors_table + *entry * cap;
+            row_distances(g, query, query_sq, row, degree, s->gather, s->dist);
+            int64_t best = 0;
+            for (int64_t j = 1; j < degree; j++) {
+                if (s->dist[j] < s->dist[best]) best = j;
+            }
+            if (s->dist[best] < *entry_dist) {
+                *entry = row[best];
+                *entry_dist = s->dist[best];
+                changed = 1;
+            }
+        }
+    }
+}
+
+/* -------------------------------------------------------------- insertion */
+
+static int cmp_items_asc(const void *pa, const void *pb) {
+    const item_t *a = (const item_t *)pa;
+    const item_t *b = (const item_t *)pb;
+    if (a->dist < b->dist) return -1;
+    if (a->dist > b->dist) return 1;
+    if (a->node < b->node) return -1;
+    if (a->node > b->node) return 1;
+    return 0;
+}
+
+/* Keep the m closest links of an overfull neighbour row, replicating
+ * np.argsort(dists[:degree], kind="stable")[:m]. */
+static void prune_row(int64_t *neighbors, float *dists, int64_t degree, int64_t m,
+                      int64_t *idx_buf, int64_t *node_buf, float *dist_buf) {
+    for (int64_t i = 0; i < degree; i++) idx_buf[i] = i;
+    for (int64_t i = 1; i < degree; i++) { /* stable insertion sort by distance */
+        int64_t key = idx_buf[i];
+        float key_dist = dists[key];
+        int64_t j = i - 1;
+        while (j >= 0 && dists[idx_buf[j]] > key_dist) {
+            idx_buf[j + 1] = idx_buf[j];
+            j--;
+        }
+        idx_buf[j + 1] = key;
+    }
+    for (int64_t i = 0; i < m; i++) {
+        node_buf[i] = neighbors[idx_buf[i]];
+        dist_buf[i] = dists[idx_buf[i]];
+    }
+    memcpy(neighbors, node_buf, (size_t)m * sizeof(int64_t));
+    memcpy(dists, dist_buf, (size_t)m * sizeof(float));
+}
+
+static void connect(graph_t *g, int64_t node, const item_t *selected, int64_t count,
+                    int layer, int64_t m, int64_t *idx_buf, int64_t *node_buf,
+                    float *dist_buf) {
+    const int64_t cap = g->caps[layer];
+    int64_t *neighbors_table = g->neighbors[layer];
+    float *dists_table = g->dists[layer];
+    int64_t *degrees = g->degrees[layer];
+    for (int64_t slot = 0; slot < count; slot++) {
+        neighbors_table[node * cap + slot] = selected[slot].node;
+        dists_table[node * cap + slot] = selected[slot].dist;
+    }
+    degrees[node] = count;
+    for (int64_t i = 0; i < count; i++) {
+        int64_t neighbor = selected[i].node;
+        int64_t degree = degrees[neighbor];
+        neighbors_table[neighbor * cap + degree] = node;
+        dists_table[neighbor * cap + degree] = selected[i].dist;
+        degree += 1;
+        if (degree > m) {
+            prune_row(neighbors_table + neighbor * cap, dists_table + neighbor * cap,
+                      degree, m, idx_buf, node_buf, dist_buf);
+            degree = m;
+        }
+        degrees[neighbor] = degree;
+    }
+}
+
+static void scratch_free(scratch_t *s) {
+    if (!s) return;
+    free(s->cand);
+    free(s->result);
+    free(s->found);
+    free(s->fresh);
+    free(s->gather);
+    free(s->dist);
+    free(s->stamps);
+    free(s);
+}
+
+static scratch_t *scratch_alloc(int64_t n_total, int64_t ef, int64_t cap_max, int64_t d) {
+    scratch_t *s = (scratch_t *)calloc(1, sizeof(scratch_t));
+    if (!s) return 0;
+    int64_t heap_cap = n_total + ef + 8;
+    s->cand = (item_t *)malloc((size_t)heap_cap * sizeof(item_t));
+    s->result = (item_t *)malloc((size_t)(ef + 2) * sizeof(item_t));
+    s->found = (item_t *)malloc((size_t)(ef + 2) * sizeof(item_t));
+    s->fresh = (int64_t *)malloc((size_t)cap_max * sizeof(int64_t));
+    s->gather = (float *)malloc((size_t)(cap_max * d) * sizeof(float));
+    s->dist = (float *)malloc((size_t)cap_max * sizeof(float));
+    s->stamps = (int64_t *)calloc((size_t)n_total, sizeof(int64_t));
+    if (!s->cand || !s->result || !s->found || !s->fresh || !s->gather || !s->dist ||
+        !s->stamps) {
+        scratch_free(s); /* the Python caller falls back and keeps running */
+        return 0;
+    }
+    return s;
+}
+
+/* Insert nodes [start, n_total); returns 0 on success, -1 on allocation
+ * failure (in which case no state was modified for the failing call). */
+int hnsw_build(const float *base, const float *sq_norms, int64_t d, int metric,
+               int num_layers, int64_t **neighbors, float **dists, int64_t **degrees,
+               const int64_t *caps, int64_t max_degree, int64_t ef_construction,
+               const int64_t *levels, int64_t start, int64_t n_total,
+               const float *prepared_queries, const float *query_sqs,
+               int64_t *entry_io, int64_t *max_level_io) {
+    graph_t g = {base, sq_norms, d, metric, num_layers, neighbors,
+                 dists, degrees, caps, max_degree};
+    int64_t cap_max = caps[0];
+    for (int l = 1; l < num_layers; l++) {
+        if (caps[l] > cap_max) cap_max = caps[l];
+    }
+    scratch_t *s = scratch_alloc(n_total, ef_construction, cap_max, d);
+    if (!s) return -1;
+    int64_t select_cap = ef_construction + 2;
+    item_t *selected = (item_t *)malloc((size_t)select_cap * sizeof(item_t));
+    item_t *entry_points = (item_t *)malloc((size_t)select_cap * sizeof(item_t));
+    int64_t *idx_buf = (int64_t *)malloc((size_t)(cap_max + 2) * sizeof(int64_t));
+    int64_t *node_buf = (int64_t *)malloc((size_t)(cap_max + 2) * sizeof(int64_t));
+    float *dist_buf = (float *)malloc((size_t)(cap_max + 2) * sizeof(float));
+    if (!selected || !entry_points || !idx_buf || !node_buf || !dist_buf) {
+        free(selected);
+        free(entry_points);
+        free(idx_buf);
+        free(node_buf);
+        free(dist_buf);
+        scratch_free(s);
+        return -1;
+    }
+    int64_t entry = *entry_io;
+    int64_t max_level = *max_level_io;
+    int64_t epoch = 0;
+    for (int64_t node = start; node < n_total; node++) {
+        int64_t level = levels[node];
+        if (entry < 0) {
+            entry = node;
+            max_level = level;
+            continue;
+        }
+        const float *query = prepared_queries + (node - start) * d;
+        float query_sq = query_sqs[node - start];
+        int64_t current = entry;
+        float current_dist;
+        row_distances(&g, query, query_sq, &current, 1, s->gather, &current_dist);
+        greedy_descent(&g, query, query_sq, &current, &current_dist, max_level, level, s);
+        int64_t num_entry = 1;
+        entry_points[0].dist = current_dist;
+        entry_points[0].node = current;
+        int64_t top = level < max_level ? level : max_level;
+        for (int64_t layer = top; layer >= 0; layer--) {
+            epoch += 1;
+            int64_t num_found = search_layer(&g, query, query_sq, entry_points, num_entry,
+                                             ef_construction, (int)layer, epoch, s);
+            int64_t m = layer == 0 ? max_degree * 2 : max_degree;
+            int64_t num_selected = num_found < m ? num_found : m;
+            memcpy(selected, s->found, (size_t)num_found * sizeof(item_t));
+            qsort(selected, (size_t)num_found, sizeof(item_t), cmp_items_asc);
+            connect(&g, node, selected, num_selected, (int)layer, m, idx_buf, node_buf,
+                    dist_buf);
+            memcpy(entry_points, s->found, (size_t)num_found * sizeof(item_t));
+            num_entry = num_found;
+        }
+        if (level > max_level) {
+            max_level = level;
+            entry = node;
+        }
+    }
+    *entry_io = entry;
+    *max_level_io = max_level;
+    free(selected);
+    free(entry_points);
+    free(idx_buf);
+    free(node_buf);
+    free(dist_buf);
+    scratch_free(s);
+    return 0;
+}
+
+/* Batched top-k query over a built graph; fills (num_queries, k) outputs. */
+int hnsw_query(const float *base, const float *sq_norms, int64_t d, int metric,
+               int num_layers, int64_t **neighbors, float **dists, int64_t **degrees,
+               const int64_t *caps, int64_t max_degree, int64_t n_total,
+               const float *prepared_queries, const float *query_sqs,
+               const float *entry_dists, int64_t num_queries, int64_t ef, int64_t k,
+               int64_t entry, int64_t max_level, int64_t *out_indices,
+               double *out_distances) {
+    graph_t g = {base, sq_norms, d, metric, num_layers, neighbors,
+                 dists, degrees, caps, max_degree};
+    int64_t cap_max = caps[0];
+    for (int l = 1; l < num_layers; l++) {
+        if (caps[l] > cap_max) cap_max = caps[l];
+    }
+    scratch_t *s = scratch_alloc(n_total, ef, cap_max, d);
+    if (!s) return -1;
+    for (int64_t row = 0; row < num_queries; row++) {
+        const float *query = prepared_queries + row * d;
+        float query_sq = query_sqs[row];
+        int64_t current = entry;
+        float current_dist = entry_dists[row];
+        greedy_descent(&g, query, query_sq, &current, &current_dist, max_level, 0, s);
+        item_t start_item = {current_dist, current};
+        int64_t num_found =
+            search_layer(&g, query, query_sq, &start_item, 1, ef, 0, row + 1, s);
+        qsort(s->found, (size_t)num_found, sizeof(item_t), cmp_items_asc);
+        int64_t count = num_found < k ? num_found : k;
+        for (int64_t j = 0; j < count; j++) {
+            out_indices[row * k + j] = s->found[j].node;
+            out_distances[row * k + j] = (double)s->found[j].dist;
+        }
+        for (int64_t j = count; j < k; j++) {
+            out_indices[row * k + j] = -1;
+            out_distances[row * k + j] = INFINITY;
+        }
+    }
+    scratch_free(s);
+    return 0;
+}

@@ -69,6 +69,37 @@ def pairwise_distances(vectors: np.ndarray, metric: str = "euclidean") -> np.nda
     return distance_matrix(vectors, vectors, metric)
 
 
+def batched_pairwise_distances(stacked: np.ndarray, metric: str = "euclidean") -> np.ndarray:
+    """Per-slice pairwise distances over a ``(t, u, d)`` stack of vector sets.
+
+    Slice ``i`` of the result equals ``pairwise_distances(stacked[i], metric)``
+    **bit for bit** — the batched pruning classifier relies on this to replace
+    its per-tuple loop. Two aliasing details make that hold on this BLAS:
+    the euclidean branch multiplies the stack with a transpose view of
+    *itself* (same buffer, the syrk-style path :func:`euclidean_distance_matrix`
+    takes via ``a @ b.T`` with ``a is b``), while the cosine branch normalizes
+    into two *distinct* buffers because :func:`cosine_distance_matrix` computes
+    ``a / a_norm`` and ``b / b_norm`` separately and therefore takes the
+    general gemm path even when ``a is b``. Both equalities are pinned by
+    ``tests/core/test_flat_equivalence.py``.
+    """
+    _check_metric(metric)
+    stacked = np.asarray(stacked, dtype=np.float32)
+    if metric == "cosine":
+        norms = np.linalg.norm(stacked, axis=2, keepdims=True)
+        norms[norms == 0] = 1.0
+        left = stacked / norms
+        right = left.copy()  # distinct buffer (same bytes): keep BLAS on the gemm path
+        similarity = np.matmul(left, right.transpose(0, 2, 1))
+        return np.clip(1.0 - similarity, 0.0, 2.0)
+    squared_norms = (stacked * stacked).sum(axis=2)
+    squared = squared_norms[:, :, None] + squared_norms[:, None, :] - 2.0 * np.matmul(
+        stacked, stacked.transpose(0, 2, 1)
+    )
+    np.maximum(squared, 0.0, out=squared)
+    return np.sqrt(squared)
+
+
 class PreparedVectors:
     """Distance kernels over a fixed vector set with per-row work hoisted out.
 
@@ -110,6 +141,23 @@ class PreparedVectors:
         rows = np.asarray(rows, dtype=np.float32)
         self._prepare(rows, append=True)
         self.vectors = np.concatenate([self.vectors, rows])
+
+    def native_views(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Contiguous kernel-facing buffers for the native HNSW kernel.
+
+        Returns ``(normed_rows, None)`` for cosine and
+        ``(vectors, squared_norms)`` for euclidean, canonicalizing the
+        internal buffers to C-contiguous (a one-time, value-preserving copy
+        when the input had exotic strides).
+        """
+        if self.metric == "cosine":
+            assert self._normed is not None
+            self._normed = np.ascontiguousarray(self._normed)
+            return self._normed, None
+        assert self._squared_norms is not None
+        self.vectors = np.ascontiguousarray(self.vectors)
+        self._squared_norms = np.ascontiguousarray(self._squared_norms)
+        return self.vectors, self._squared_norms
 
     def copy(self) -> "PreparedVectors":
         """Shallow copy sharing the (never mutated in place) backing arrays."""

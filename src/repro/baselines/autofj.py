@@ -24,8 +24,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.table import Table
-from ..text.tfidf import TfidfVectorizer
+from ..text.tfidf import TfidfVectorizer, cosine_similarity_sparse
 from .two_table import MatchedPair, TwoTableMatcher
+
+#: rows of the left operand multiplied per block when densifying similarity
+#: matrices — bounds peak memory to one dense output plus one block.
+SIMILARITY_BLOCK_ROWS = 2048
 
 
 class AutoFuzzyJoin(TwoTableMatcher):
@@ -75,10 +79,14 @@ class AutoFuzzyJoin(TwoTableMatcher):
         left_matrix = vectorizer.transform(left_texts)
         right_matrix = vectorizer.transform(right_texts)
 
-        left_self = np.asarray((left_matrix @ left_matrix.T).todense())
+        left_self = cosine_similarity_sparse(
+            left_matrix, left_matrix, block_size=SIMILARITY_BLOCK_ROWS
+        )
         threshold = self._self_join_threshold(left_self)
 
-        cross = np.asarray((left_matrix @ right_matrix.T).todense())
+        cross = cosine_similarity_sparse(
+            left_matrix, right_matrix, block_size=SIMILARITY_BLOCK_ROWS
+        )
         best_right_for_left = cross.argmax(axis=1)
         best_left_for_right = cross.argmax(axis=0)
         pairs: list[MatchedPair] = []

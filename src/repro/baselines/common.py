@@ -7,6 +7,8 @@ not leak into its competitors.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from ..config import RepresentationConfig
@@ -19,7 +21,7 @@ from ..text.tokenizer import text_ngrams, word_tokens
 
 def vanilla_embeddings(
     dataset: MultiTableDataset, *, dimension: int = 384, seed: int = 0
-) -> tuple[dict[str, TableEmbeddings], dict[EntityRef, np.ndarray]]:
+) -> tuple[dict[str, TableEmbeddings], Mapping[EntityRef, np.ndarray]]:
     """Embed every table with the plain (non-enhanced) representation."""
     config = RepresentationConfig(attribute_selection=False, dimension=dimension, seed=seed)
     representer = EntityRepresenter(config)

@@ -24,6 +24,8 @@ tuple-level precision.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
 from ..ann.brute_force import BruteForceIndex
@@ -97,7 +99,7 @@ class EmbeddingPairClassifier(TwoTableMatcher):
         self.seed = seed
         self._classifier = LogisticRegression()
         self._representer: EntityRepresenter | None = None
-        self._vectors: dict[EntityRef, np.ndarray] = {}
+        self._vectors: Mapping[EntityRef, np.ndarray] = {}
         self._texts: dict[EntityRef, str] = {}
 
     # --------------------------------------------------------------- prepare

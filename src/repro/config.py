@@ -125,12 +125,19 @@ class PruningConfig:
         epsilon: neighbourhood radius ε (euclidean, paper grid {0.8, 1.0}).
         min_pts: MinPts, the neighbour count needed to be a core entity.
         metric: distance used during pruning (paper: euclidean).
+        batch_rows: per-block cap for the vectorized classifier — at most
+            this many member rows are gathered into one batched distance
+            block (a single tuple always classifies whole, even beyond the
+            cap). Any value yields byte-identical output (blocking never
+            changes a tuple's arithmetic); it only trades peak block memory
+            for call count.
     """
 
     enabled: bool = True
     epsilon: float = 1.0
     min_pts: int = 2
     metric: str = "euclidean"
+    batch_rows: int = 8192
 
     def validate(self) -> None:
         if self.epsilon <= 0:
@@ -139,6 +146,8 @@ class PruningConfig:
             raise ConfigurationError("min_pts must be >= 1")
         if self.metric not in ("cosine", "euclidean"):
             raise ConfigurationError(f"unknown pruning metric {self.metric!r}")
+        if self.batch_rows < 1:
+            raise ConfigurationError("batch_rows must be >= 1")
 
 
 @dataclass(frozen=True)

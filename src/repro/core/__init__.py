@@ -1,20 +1,38 @@
-"""Core MultiEM pipeline: representation, attribute selection, merging, pruning."""
+"""Core MultiEM pipeline: representation, attribute selection, merging, pruning.
+
+The merging and pruning stages run on flat column-store tables
+(:class:`~repro.core.merging.ItemTable` +
+:class:`~repro.core.representation.EmbeddingStore`) with a byte-identity
+contract: the vectorized engines reproduce the historical per-item
+implementations bit for bit (see the ``merging`` / ``pruning`` module
+docstrings and ``tests/core/test_flat_equivalence.py``). The per-item
+list APIs remain as thin views over the flat layout.
+"""
 
 from .attribute_selection import AttributeSelectionResult, select_attributes
 from .incremental import IncrementalMultiEM
 from .merging import (
+    ItemTable,
     MergeItem,
     MergeStats,
     candidate_tuples,
     hierarchical_merge,
+    hierarchical_merge_tables,
     items_from_embeddings,
+    merge_item_tables,
     merge_two_tables,
     weighted_mean_vector,
 )
 from .parallel import ParallelExecutor, partition
 from .pipeline import MultiEM
-from .pruning import EntityClassification, classify_entities, prune_item, prune_items
-from .representation import EntityRepresenter, TableEmbeddings
+from .pruning import (
+    EntityClassification,
+    classify_entities,
+    prune_item,
+    prune_item_table,
+    prune_items,
+)
+from .representation import EmbeddingStore, EntityRepresenter, TableEmbeddings
 from .result import MatchResult, StageTimings, tuples_to_pairs
 
 __all__ = [
@@ -23,20 +41,25 @@ __all__ = [
     "MatchResult",
     "StageTimings",
     "tuples_to_pairs",
+    "EmbeddingStore",
     "EntityRepresenter",
     "TableEmbeddings",
     "AttributeSelectionResult",
     "select_attributes",
+    "ItemTable",
     "MergeItem",
     "MergeStats",
+    "merge_item_tables",
     "merge_two_tables",
     "hierarchical_merge",
+    "hierarchical_merge_tables",
     "weighted_mean_vector",
     "items_from_embeddings",
     "candidate_tuples",
     "EntityClassification",
     "classify_entities",
     "prune_item",
+    "prune_item_table",
     "prune_items",
     "ParallelExecutor",
     "partition",

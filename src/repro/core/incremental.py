@@ -19,27 +19,32 @@ from __future__ import annotations
 from ..ann.cache import IndexCache
 from ..config import MultiEMConfig
 from ..data.dataset import MultiTableDataset
-from ..data.entity import EntityRef
 from ..data.table import Table
 from ..exceptions import DataError, SchemaError
 from .attribute_selection import select_attributes
-from .merging import MergeItem, candidate_tuples, hierarchical_merge, items_from_embeddings, merge_two_tables
+from .merging import ItemTable, hierarchical_merge_tables, merge_item_tables
 from .parallel import ParallelExecutor
-from .pruning import prune_items
-from .representation import EntityRepresenter
+from .pruning import prune_item_table
+from .representation import EmbeddingStore, EntityRepresenter
 from .result import MatchResult, StageTimings
 
 
 class IncrementalMultiEM:
-    """MultiEM variant that supports adding source tables one at a time."""
+    """MultiEM variant that supports adding source tables one at a time.
+
+    State lives in flat form: one :class:`~repro.core.merging.ItemTable` for
+    the integrated table and one
+    :class:`~repro.core.representation.EmbeddingStore` for the encoded rows,
+    so repeated ``add_table`` calls never rebuild per-item Python objects.
+    """
 
     def __init__(self, config: MultiEMConfig | None = None) -> None:
         self.config = config or MultiEMConfig()
         self.config.validate()
         self._representer: EntityRepresenter | None = None
         self._attributes: tuple[str, ...] = ()
-        self._items: list[MergeItem] = []
-        self._embedding_lookup: dict[EntityRef, object] = {}
+        self._table: ItemTable = ItemTable.empty()
+        self._store: EmbeddingStore = EmbeddingStore()
         self._known_sources: set[str] = set()
         self._schema: tuple[str, ...] = ()
         self._executor = ParallelExecutor(self.config.parallel)
@@ -68,15 +73,15 @@ class IncrementalMultiEM:
             self._attributes = self._schema
         self._representer.fit(dataset, self._attributes)
         embeddings = self._representer.encode_dataset(dataset, self._attributes)
-        self._embedding_lookup = EntityRepresenter.embedding_lookup(embeddings)
-        item_tables = [items_from_embeddings(embeddings[t.name]) for t in dataset.table_list()]
-        integrated, _ = hierarchical_merge(
+        self._store = EmbeddingStore.from_embeddings(embeddings)
+        item_tables = [ItemTable.from_embeddings(embeddings[t.name]) for t in dataset.table_list()]
+        integrated, _ = hierarchical_merge_tables(
             item_tables,
             self.config.merging,
             executor=self._executor,
             cache=self._index_cache,
         )
-        self._items = integrated
+        self._table = integrated
         self._known_sources = set(dataset.tables)
         return self._result()
 
@@ -93,21 +98,21 @@ class IncrementalMultiEM:
             raise DataError(f"source {table.name!r} was already merged")
         assert self._representer is not None
         embeddings = self._representer.encode_table(table, self._attributes)
-        for ref, vector in zip(embeddings.refs, embeddings.vectors):
-            self._embedding_lookup[ref] = vector
-        new_items = items_from_embeddings(embeddings)
-        merged, _ = merge_two_tables(
-            self._items, new_items, self.config.merging, cache=self._index_cache
+        new_table = ItemTable.from_embeddings(embeddings)
+        merged, _ = merge_item_tables(
+            self._table, new_table, self.config.merging, cache=self._index_cache
         )
-        self._items = merged
+        # Commit state only after the merge succeeded, so a failed add_table
+        # (e.g. OOM at scale) leaves the matcher consistent and retryable.
+        self._store.add_table(embeddings)
+        self._table = merged
         self._known_sources.add(table.name)
         return self._result()
 
     # ---------------------------------------------------------------- result
     def _result(self) -> MatchResult:
-        candidates = candidate_tuples(self._items)
-        pruned = prune_items(
-            candidates, self._embedding_lookup, self.config.pruning, executor=self._executor
+        pruned = prune_item_table(
+            self._table, self._store, self.config.pruning, executor=self._executor
         )
         method = (
             "IncrementalMultiEM (parallel)" if self._executor.is_parallel else "IncrementalMultiEM"
@@ -117,7 +122,7 @@ class IncrementalMultiEM:
             selected_attributes=self._attributes,
             timings=StageTimings(),
             method=method,
-            metadata={"num_sources": len(self._known_sources), "num_items": len(self._items)},
+            metadata={"num_sources": len(self._known_sources), "num_items": len(self._table)},
         )
 
     @property

@@ -1,6 +1,6 @@
-"""Table-wise hierarchical merging (Algorithms 2 and 3).
+"""Table-wise hierarchical merging (Algorithms 2 and 3) on flat array storage.
 
-The merging stage treats every table as a list of :class:`MergeItem` objects
+The merging stage treats every table as a collection of merge items
 (initially one item per record). Two tables are merged by
 
 1. finding mutual top-K neighbour pairs under a distance cap ``m`` with an
@@ -12,11 +12,39 @@ Algorithm 2 then repeats the two-table merge hierarchically — random pairs of
 tables, level by level — until a single integrated table remains. The merged
 item's representative vector is the member-count-weighted mean of its parts
 (a medoid representative is available for the design ablation).
+
+Flat-table layout and byte-identity contract
+--------------------------------------------
+
+Internally a table of items is an :class:`ItemTable` *column store*: one
+``(n, d)`` float32 vector matrix plus CSR-style member lists (``int32``
+source ids into a sorted source-name tuple, ``int64`` row indices, and an
+``(n + 1,)`` offset array). A two-table merge then runs as
+
+* an integer union-find over ``np.arange(n_left + n_right)`` seeded by the
+  mutual pairs,
+* a single stable relabeling pass that orders output groups by the first
+  occurrence of any of their members (the same order the historical
+  dict-of-tuples implementation produced), and
+* grouped weighted-mean representatives computed in one vectorized pass per
+  distinct group size (gather → ``(t, s, d)`` → weighted sum over axis 1).
+
+Every step is required to reproduce the historical per-item implementation
+**bit for bit**: group composition, output order, member tuples and the raw
+bytes of every representative vector. The per-group-size batching exists
+because numpy's pairwise summation makes ``np.add.reduceat`` (sequential)
+diverge from ``ndarray.sum(axis=0)`` for three or more rows, while a
+``(t, s, d).sum(axis=1)`` is bit-equal to each slice's ``(s, d).sum(axis=0)``
+on this platform (pinned by ``tests/core/test_flat_equivalence.py``). The
+public list-of-:class:`MergeItem` API is preserved as a thin view over the
+flat tables, so callers and :class:`~repro.ann.cache.IndexCache` reuse are
+untouched.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -71,24 +99,217 @@ def weighted_mean_vector(vectors: np.ndarray, weights: np.ndarray) -> np.ndarray
     return normalize_rows(pooled[None, :])[0]
 
 
-def _representative_vector(items: list[MergeItem], strategy: str) -> np.ndarray:
-    """Representative vector of a merged group of items."""
-    stacked = np.stack([item.vector for item in items])
-    if strategy == "medoid":
-        pooled = medoid_pool(stacked)
-        return normalize_rows(pooled[None, :])[0]
-    return weighted_mean_vector(stacked, np.array([item.size for item in items], dtype=np.float32))
+def _csr_positions(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat positions of the concatenated ranges ``[starts[i], starts[i]+counts[i])``."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    cum = np.cumsum(counts) - counts
+    return np.repeat(np.asarray(starts, dtype=np.int64) - cum, counts) + np.arange(total)
 
 
-def merge_two_tables(
-    left: list[MergeItem],
-    right: list[MergeItem],
+class ItemTable:
+    """Column-store view of a merge-item table.
+
+    Attributes:
+        vectors: ``(n, d)`` float32 representative matrix, row ``i`` for item ``i``.
+        member_sources: ``(M,)`` int32 ids into :attr:`sources` for every member.
+        member_indices: ``(M,)`` int64 source-row indices for every member.
+        member_offsets: ``(n + 1,)`` int64 CSR offsets; item ``i`` owns members
+            ``member_offsets[i]:member_offsets[i + 1]``.
+        sources: source names, **sorted ascending** — the invariant that makes
+            sorting members by ``(source_id, index)`` equal to sorting
+            :class:`EntityRef` objects by ``(source, index)``.
+    """
+
+    __slots__ = ("vectors", "member_sources", "member_indices", "member_offsets", "sources")
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        member_sources: np.ndarray,
+        member_indices: np.ndarray,
+        member_offsets: np.ndarray,
+        sources: tuple[str, ...],
+    ) -> None:
+        self.vectors = vectors
+        self.member_sources = member_sources
+        self.member_indices = member_indices
+        self.member_offsets = member_offsets
+        self.sources = sources
+
+    def __len__(self) -> int:
+        return int(self.vectors.shape[0])
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Member count per item (the merge weights), as int64."""
+        return np.diff(self.member_offsets)
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def empty(cls, dimension: int = 0) -> "ItemTable":
+        return cls(
+            np.zeros((0, dimension), dtype=np.float32),
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            (),
+        )
+
+    @classmethod
+    def from_items(cls, items: Sequence[MergeItem]) -> "ItemTable":
+        """Pack a list of merge items into flat columns (vectors are stacked).
+
+        Item vectors must be float32 — the encoder contract every pipeline
+        producer honors; other dtypes are cast here (the flat layout stores
+        one homogeneous matrix, so the historical accident of per-item mixed
+        dtypes surviving a merge is not supported).
+        """
+        n = len(items)
+        if n == 0:
+            return cls.empty()
+        vectors = np.stack([item.vector for item in items]).astype(np.float32, copy=False)
+        sources = sorted({ref.source for item in items for ref in item.members})
+        source_id = {name: i for i, name in enumerate(sources)}
+        counts = np.fromiter((len(item.members) for item in items), dtype=np.int64, count=n)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        total = int(offsets[-1])
+        member_sources = np.fromiter(
+            (source_id[ref.source] for item in items for ref in item.members),
+            dtype=np.int32,
+            count=total,
+        )
+        member_indices = np.fromiter(
+            (ref.index for item in items for ref in item.members), dtype=np.int64, count=total
+        )
+        return cls(vectors, member_sources, member_indices, offsets, tuple(sources))
+
+    @classmethod
+    def from_embeddings(cls, embeddings: TableEmbeddings) -> "ItemTable":
+        """Singleton item per record, sharing the embedding matrix (no copy)."""
+        n = len(embeddings.refs)
+        if n == 0:
+            return cls.empty()
+        vectors = np.ascontiguousarray(np.asarray(embeddings.vectors, dtype=np.float32))
+        sources = sorted({ref.source for ref in embeddings.refs})
+        source_id = {name: i for i, name in enumerate(sources)}
+        member_sources = np.fromiter(
+            (source_id[ref.source] for ref in embeddings.refs), dtype=np.int32, count=n
+        )
+        member_indices = np.fromiter(
+            (ref.index for ref in embeddings.refs), dtype=np.int64, count=n
+        )
+        return cls(vectors, member_sources, member_indices, np.arange(n + 1, dtype=np.int64), tuple(sources))
+
+    # --------------------------------------------------------------- views
+    def member_refs(self) -> list[EntityRef]:
+        """All member refs in storage order (flat, CSR-aligned)."""
+        sources = self.sources
+        return [
+            EntityRef(sources[sid], int(idx))
+            for sid, idx in zip(self.member_sources.tolist(), self.member_indices.tolist())
+        ]
+
+    def to_items(self) -> list[MergeItem]:
+        """Materialize the thin :class:`MergeItem` list view (vectors are row views)."""
+        refs = self.member_refs()
+        offsets = self.member_offsets.tolist()
+        return [
+            MergeItem(members=tuple(refs[offsets[i] : offsets[i + 1]]), vector=self.vectors[i])
+            for i in range(len(self))
+        ]
+
+    def filter(self, mask: np.ndarray) -> "ItemTable":
+        """Row-subset of the table (items where ``mask`` is True, order kept)."""
+        mask = np.asarray(mask, dtype=bool)
+        rows = np.flatnonzero(mask)
+        counts = self.sizes[rows]
+        offsets = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        pos = _csr_positions(self.member_offsets[rows], counts)
+        return ItemTable(
+            self.vectors[rows],
+            self.member_sources[pos],
+            self.member_indices[pos],
+            offsets,
+            self.sources,
+        )
+
+
+def as_item_table(table: "ItemTable | Sequence[MergeItem]") -> ItemTable:
+    """Coerce either representation to a flat :class:`ItemTable`."""
+    if isinstance(table, ItemTable):
+        return table
+    return ItemTable.from_items(table)
+
+
+def _union_sources(left: ItemTable, right: ItemTable) -> tuple[tuple[str, ...], np.ndarray, np.ndarray]:
+    """Merged sorted source table plus per-side id remap arrays."""
+    union = sorted(set(left.sources) | set(right.sources))
+    index = {name: i for i, name in enumerate(union)}
+    left_map = np.fromiter((index[s] for s in left.sources), dtype=np.int32, count=len(left.sources))
+    right_map = np.fromiter((index[s] for s in right.sources), dtype=np.int32, count=len(right.sources))
+    return tuple(union), left_map, right_map
+
+
+def bucketed_weighted_mean(stacked: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Normalized weighted means of one same-size bucket — the bit-critical op.
+
+    ``stacked`` is ``(t, s, d)`` (``t`` groups of ``s`` rows), ``weights`` is
+    ``(t, s)`` float32. Each output row is bit-identical to
+    :func:`weighted_mean_vector` on that group's ``(s, d)`` slice: an axis-1
+    reduction of a 3-d gather equals each slice's axis-0 reduction on this
+    platform, while e.g. ``np.add.reduceat`` (sequential) does **not** for
+    three or more rows (see the module docstring's byte-identity notes). Both
+    the merging and the pruning engines funnel through this single helper so
+    the equality is maintained — and pinned by the property tests — in one
+    place.
+    """
+    pooled = (weights[:, :, None] * stacked).sum(axis=1)
+    pooled = pooled / weights.sum(axis=1)[:, None]
+    return normalize_rows(pooled)
+
+
+def _grouped_mean_vectors(
+    out_vectors: np.ndarray,
+    vectors: np.ndarray,
+    weights: np.ndarray,
+    group_of_node: np.ndarray,
+    nodes_in_group_order: np.ndarray,
+    group_node_counts: np.ndarray,
+) -> None:
+    """Weighted-mean representatives for every multi-node group, vectorized.
+
+    Buckets groups by node count; each bucket reduces through
+    :func:`bucketed_weighted_mean`, bit-identical to the per-group
+    ``(weights[:, None] * stacked).sum(axis=0)`` the historical implementation
+    computed.
+    """
+    groups_sorted = group_of_node[nodes_in_group_order]
+    node_sizes = group_node_counts[groups_sorted]
+    for s in np.unique(node_sizes):
+        in_bucket = node_sizes == s
+        nodes_s = nodes_in_group_order[in_bucket]
+        t = nodes_s.shape[0] // int(s)
+        stacked = vectors[nodes_s].reshape(t, int(s), vectors.shape[1])
+        bucket_weights = weights[nodes_s].reshape(t, int(s))
+        out_vectors[groups_sorted[in_bucket][:: int(s)]] = bucketed_weighted_mean(
+            stacked, bucket_weights
+        )
+
+
+def merge_item_tables(
+    left: ItemTable,
+    right: ItemTable,
     config: MergingConfig,
     *,
     representative: str = "mean",
     cache: IndexCache | None = None,
-) -> tuple[list[MergeItem], int]:
-    """Algorithm 3: merge two item tables into one.
+) -> tuple[ItemTable, int]:
+    """Algorithm 3 on flat tables: merge two item tables into one.
 
     ``cache`` (an :class:`~repro.ann.cache.IndexCache`) lets the mutual top-K
     step reuse an ANN index built for the same item table at an earlier
@@ -96,18 +317,16 @@ def merge_two_tables(
     output is unchanged.
 
     Returns:
-        ``(merged_items, num_matched_pairs)`` — the merged table and how many
+        ``(merged_table, num_matched_pairs)`` — the merged table and how many
         mutual pairs were accepted (diagnostic).
     """
-    if not left:
-        return list(right), 0
-    if not right:
-        return list(left), 0
-    left_vectors = np.stack([item.vector for item in left])
-    right_vectors = np.stack([item.vector for item in right])
+    if len(left) == 0:
+        return right, 0
+    if len(right) == 0:
+        return left, 0
     pairs = mutual_top_k(
-        left_vectors,
-        right_vectors,
+        left.vectors,
+        right.vectors,
         k=config.k,
         max_distance=config.m,
         metric=config.metric,
@@ -121,55 +340,163 @@ def merge_two_tables(
         },
         cache=cache,
     )
-    # Union matched items by transitivity. Items are identified by
-    # (side, position); side 0 = left, side 1 = right.
-    parent: dict[tuple[int, int], tuple[int, int]] = {}
 
-    def find(node: tuple[int, int]) -> tuple[int, int]:
-        parent.setdefault(node, node)
-        root = node
-        while parent[root] != root:
-            root = parent[root]
-        while parent[node] != root:
-            parent[node], node = root, parent[node]
-        return root
+    n_left, n_right = len(left), len(right)
+    n = n_left + n_right
 
-    def union(a: tuple[int, int], b: tuple[int, int]) -> None:
-        root_a, root_b = find(a), find(b)
-        if root_a != root_b:
-            parent[root_b] = root_a
-
+    # Integer union-find over np.arange(n): left items are nodes [0, n_left),
+    # right items are nodes [n_left, n). Unions follow pair order (matched
+    # right root attached under the left root), exactly like the historical
+    # dict-of-tuples implementation — component membership and the
+    # first-occurrence output order below are what byte-identity relies on.
+    parent = list(range(n))
     for pair in pairs:
-        union((0, pair.left), (1, pair.right))
+        a = pair.left
+        while parent[a] != a:
+            parent[a], a = parent[parent[a]], parent[a]
+        b = n_left + pair.right
+        while parent[b] != b:
+            parent[b], b = parent[parent[b]], parent[b]
+        if a != b:
+            parent[b] = a
+    roots = np.asarray(parent, dtype=np.int64)
+    while True:
+        hopped = roots[roots]
+        if np.array_equal(hopped, roots):
+            break
+        roots = hopped
 
-    groups: dict[tuple[int, int], list[MergeItem]] = {}
-    for side, items in ((0, left), (1, right)):
-        for position, item in enumerate(items):
-            node = (side, position)
-            if node in parent:
-                groups.setdefault(find(node), []).append(item)
-            else:
-                groups[(side, position)] = [item]
+    # Relabel components in order of first occurrence (scan order: all left
+    # items by position, then all right items) — the dict insertion order of
+    # the historical implementation.
+    unique_roots, first_seen, inverse = np.unique(roots, return_index=True, return_inverse=True)
+    rank = np.empty(len(unique_roots), dtype=np.int64)
+    rank[np.argsort(first_seen, kind="stable")] = np.arange(len(unique_roots))
+    group = rank[inverse]
+    num_groups = len(unique_roots)
+    group_node_counts = np.bincount(group, minlength=num_groups)
 
-    merged: list[MergeItem] = []
-    for group in groups.values():
-        if len(group) == 1:
-            merged.append(group[0])
-            continue
-        members = tuple(sorted({ref for item in group for ref in item.members}))
-        merged.append(MergeItem(members=members, vector=_representative_vector(group, representative)))
+    sources, left_map, right_map = _union_sources(left, right)
+    vectors = np.concatenate([left.vectors, right.vectors])
+    node_member_counts = np.concatenate([left.sizes, right.sizes])
+    node_weights = node_member_counts.astype(np.float32)
+    node_member_starts = np.concatenate(
+        [left.member_offsets[:-1], right.member_offsets[:-1] + left.member_sources.shape[0]]
+    )
+    member_sources_cat = np.concatenate(
+        [left_map[left.member_sources], right_map[right.member_sources]]
+    )
+    member_indices_cat = np.concatenate([left.member_indices, right.member_indices])
+
+    node_of_group = np.empty(num_groups, dtype=np.int64)
+    node_of_group[group[::-1]] = np.arange(n - 1, -1, -1)  # first node of each group
+    singles = np.flatnonzero(group_node_counts == 1)
+    multis = np.flatnonzero(group_node_counts > 1)
+
+    # ------------------------------------------------- representative vectors
+    out_vectors = np.empty((num_groups, vectors.shape[1]), dtype=np.float32)
+    out_vectors[singles] = vectors[node_of_group[singles]]
+    if multis.size:
+        node_order = np.argsort(group, kind="stable")
+        multi_nodes = node_order[group_node_counts[group[node_order]] > 1]
+        if representative == "medoid":
+            bounds = np.concatenate(
+                [[0], np.flatnonzero(np.diff(group[multi_nodes])) + 1, [multi_nodes.shape[0]]]
+            )
+            for start, stop in zip(bounds[:-1], bounds[1:]):
+                nodes = multi_nodes[start:stop]
+                pooled = medoid_pool(vectors[nodes])
+                out_vectors[group[nodes[0]]] = normalize_rows(pooled[None, :])[0]
+        else:
+            _grouped_mean_vectors(
+                out_vectors, vectors, node_weights, group, multi_nodes, group_node_counts
+            )
+
+    # --------------------------------------------------------- member lists
+    if multis.size:
+        multi_counts = node_member_counts[multi_nodes]
+        src_pos = _csr_positions(node_member_starts[multi_nodes], multi_counts)
+        stream_group = np.repeat(group[multi_nodes], multi_counts)
+        stream_sid = member_sources_cat[src_pos]
+        stream_idx = member_indices_cat[src_pos]
+        order = np.lexsort((stream_idx, stream_sid, stream_group))
+        stream_group = stream_group[order]
+        stream_sid = stream_sid[order]
+        stream_idx = stream_idx[order]
+        keep = np.ones(order.shape[0], dtype=bool)
+        keep[1:] = (
+            (stream_group[1:] != stream_group[:-1])
+            | (stream_sid[1:] != stream_sid[:-1])
+            | (stream_idx[1:] != stream_idx[:-1])
+        )
+        stream_group = stream_group[keep]
+        stream_sid = stream_sid[keep]
+        stream_idx = stream_idx[keep]
+        multi_member_counts = np.bincount(stream_group, minlength=num_groups)
+    else:
+        stream_sid = np.zeros(0, dtype=np.int32)
+        stream_idx = np.zeros(0, dtype=np.int64)
+        multi_member_counts = np.zeros(num_groups, dtype=np.int64)
+
+    out_counts = np.where(
+        group_node_counts == 1, node_member_counts[node_of_group], multi_member_counts
+    )
+    out_offsets = np.zeros(num_groups + 1, dtype=np.int64)
+    np.cumsum(out_counts, out=out_offsets[1:])
+    out_member_sources = np.empty(int(out_offsets[-1]), dtype=np.int32)
+    out_member_indices = np.empty(int(out_offsets[-1]), dtype=np.int64)
+
+    single_nodes = node_of_group[singles]
+    single_src = _csr_positions(node_member_starts[single_nodes], node_member_counts[single_nodes])
+    single_dst = _csr_positions(out_offsets[singles], node_member_counts[single_nodes])
+    out_member_sources[single_dst] = member_sources_cat[single_src]
+    out_member_indices[single_dst] = member_indices_cat[single_src]
+    if multis.size:
+        multi_dst = _csr_positions(out_offsets[multis], multi_member_counts[multis])
+        out_member_sources[multi_dst] = stream_sid
+        out_member_indices[multi_dst] = stream_idx
+
+    merged = ItemTable(out_vectors, out_member_sources, out_member_indices, out_offsets, sources)
     return merged, len(pairs)
 
 
-def hierarchical_merge(
-    tables: list[list[MergeItem]],
+def merge_two_tables(
+    left: list[MergeItem],
+    right: list[MergeItem],
+    config: MergingConfig,
+    *,
+    representative: str = "mean",
+    cache: IndexCache | None = None,
+) -> tuple[list[MergeItem], int]:
+    """Algorithm 3: merge two item tables into one (list-of-items API).
+
+    Thin wrapper over :func:`merge_item_tables`; output items, their order and
+    their vector bytes are identical to the historical per-item
+    implementation.
+
+    Returns:
+        ``(merged_items, num_matched_pairs)`` — the merged table and how many
+        mutual pairs were accepted (diagnostic).
+    """
+    if not left:
+        return list(right), 0
+    if not right:
+        return list(left), 0
+    merged, matched = merge_item_tables(
+        as_item_table(left), as_item_table(right), config, representative=representative, cache=cache
+    )
+    return merged.to_items(), matched
+
+
+def hierarchical_merge_tables(
+    tables: "list[ItemTable | list[MergeItem]]",
     config: MergingConfig,
     *,
     executor: ParallelExecutor | None = None,
     representative: str = "mean",
     cache: IndexCache | None = None,
-) -> tuple[list[MergeItem], MergeStats]:
-    """Algorithm 2: merge all tables hierarchically until one remains.
+) -> tuple[ItemTable, MergeStats]:
+    """Algorithm 2 on flat tables: merge all tables hierarchically until one remains.
 
     Tables are randomly paired at every level (seeded by ``config.seed``);
     with an odd number of tables the leftover table passes to the next level
@@ -187,27 +514,27 @@ def hierarchical_merge(
         cache = IndexCache(max_entries=config.index_cache_entries)
     stats = MergeStats()
     rng = np.random.default_rng(config.seed)
-    current: list[list[MergeItem]] = [list(table) for table in tables]
+    current: list[ItemTable] = [as_item_table(table) for table in tables]
     if not current:
-        return [], stats
+        return ItemTable.empty(), stats
     while len(current) > 1:
         stats.levels += 1
         order = rng.permutation(len(current))
-        pairs: list[tuple[list[MergeItem], list[MergeItem]]] = []
-        leftover: list[list[MergeItem]] = []
+        pairs: list[tuple[ItemTable, ItemTable]] = []
+        leftover: list[ItemTable] = []
         for i in range(0, len(order) - 1, 2):
             pairs.append((current[order[i]], current[order[i + 1]]))
         if len(order) % 2 == 1:
             leftover.append(current[order[-1]])
 
         merge_results = executor.map(
-            lambda pair: merge_two_tables(
+            lambda pair: merge_item_tables(
                 pair[0], pair[1], config, representative=representative, cache=cache
             ),
             pairs,
         )
         matched_this_level = 0
-        next_level: list[list[MergeItem]] = []
+        next_level: list[ItemTable] = []
         for merged, matched in merge_results:
             next_level.append(merged)
             matched_this_level += matched
@@ -218,6 +545,35 @@ def hierarchical_merge(
     return current[0], stats
 
 
-def candidate_tuples(items: list[MergeItem]) -> list[MergeItem]:
+def hierarchical_merge(
+    tables: "list[list[MergeItem] | ItemTable]",
+    config: MergingConfig,
+    *,
+    executor: ParallelExecutor | None = None,
+    representative: str = "mean",
+    cache: IndexCache | None = None,
+) -> tuple[list[MergeItem], MergeStats]:
+    """Algorithm 2: merge all tables hierarchically until one remains.
+
+    List-of-items wrapper over :func:`hierarchical_merge_tables`; see there
+    for the pairing, parallelism and index-cache behaviour.
+    """
+    if not tables:
+        return [], MergeStats()
+    if len(tables) == 1:
+        only = tables[0]
+        stats = MergeStats()
+        if isinstance(only, ItemTable):
+            return only.to_items(), stats
+        return list(only), stats
+    integrated, stats = hierarchical_merge_tables(
+        tables, config, executor=executor, representative=representative, cache=cache
+    )
+    return integrated.to_items(), stats
+
+
+def candidate_tuples(items: "list[MergeItem] | ItemTable") -> list[MergeItem]:
     """Items with at least two members — the merging stage's candidate tuples."""
+    if isinstance(items, ItemTable):
+        return items.filter(items.sizes >= 2).to_items()
     return [item for item in items if item.size >= 2]

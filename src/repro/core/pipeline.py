@@ -21,10 +21,10 @@ from ..config import MultiEMConfig
 from ..data.dataset import MultiTableDataset
 from ..embedding.base import SentenceEncoder
 from .attribute_selection import AttributeSelectionResult, select_attributes
-from .merging import candidate_tuples, hierarchical_merge, items_from_embeddings
+from .merging import ItemTable, hierarchical_merge_tables
 from .parallel import ParallelExecutor
-from .pruning import prune_items
-from .representation import EntityRepresenter
+from .pruning import prune_item_table
+from .representation import EmbeddingStore, EntityRepresenter
 from .result import MatchResult, StageTimings
 
 
@@ -66,19 +66,22 @@ class MultiEM:
         started = time.perf_counter()
         representer.fit(dataset, attributes)
         embeddings = representer.encode_dataset(dataset, attributes)
-        embedding_lookup = EntityRepresenter.embedding_lookup(embeddings)
+        store = EmbeddingStore.from_embeddings(embeddings)
         timings.representation = time.perf_counter() - started
 
-        # Stage M: table-wise hierarchical merging (Algorithms 2-3).
+        # Stage M: table-wise hierarchical merging (Algorithms 2-3), run on
+        # flat ItemTables end to end; items only materialize after pruning.
         started = time.perf_counter()
-        item_tables = [items_from_embeddings(embeddings[table.name]) for table in dataset.table_list()]
-        integrated, merge_stats = hierarchical_merge(item_tables, self.config.merging, executor=executor)
-        candidates = candidate_tuples(integrated)
+        item_tables = [ItemTable.from_embeddings(embeddings[table.name]) for table in dataset.table_list()]
+        integrated, merge_stats = hierarchical_merge_tables(
+            item_tables, self.config.merging, executor=executor
+        )
+        num_candidates = int((integrated.sizes >= 2).sum())
         timings.merging = time.perf_counter() - started
 
-        # Stage P: density-based pruning (Algorithm 4).
+        # Stage P: density-based pruning (Algorithm 4), batched off the flat table.
         started = time.perf_counter()
-        pruned = prune_items(candidates, embedding_lookup, self.config.pruning, executor=executor)
+        pruned = prune_item_table(integrated, store, self.config.pruning, executor=executor)
         timings.pruning = time.perf_counter() - started
 
         tuples = {frozenset(item.members) for item in pruned if item.size >= 2}
@@ -90,7 +93,7 @@ class MultiEM:
             timings=timings,
             method=method,
             metadata={
-                "num_candidate_tuples": len(candidates),
+                "num_candidate_tuples": num_candidates,
                 "merge_levels": merge_stats.levels,
                 "merge_pair_merges": merge_stats.pair_merges,
                 "matched_pairs_per_level": list(merge_stats.matched_pairs_per_level),

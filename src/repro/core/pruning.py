@@ -1,23 +1,46 @@
-"""Density-based pruning (Algorithm 4 and Definitions 3-5).
+"""Density-based pruning (Algorithm 4 and Definitions 3-5), batched.
 
 Hierarchical merging only ever looks at the two tables currently being
 merged, so a tuple built up over several levels can drag along an outlier
 (Figure 4). The pruning stage classifies each tuple's members as core,
 reachable, or outlier entities using DBSCAN-style density rules and removes
 the outliers; tuples left with fewer than two members are dropped entirely.
+
+Vectorized layout and byte-identity contract
+--------------------------------------------
+
+:func:`classify_entities` remains the single-tuple reference implementation;
+the production path (:func:`prune_items` / :func:`prune_item_table`) batches
+every candidate's members into one contiguous matrix, buckets candidates by
+member count ``u``, and classifies each bucket with one
+:func:`~repro.ann.distances.batched_pairwise_distances` call and boolean
+masks — no per-tuple Python loop. Because every batched slice is bit-equal
+to the per-tuple kernel (see the batched kernel's docstring), the surviving
+member sets, the rebuilt representative vectors, and even object identity
+for untouched tuples are identical to the historical per-item path —
+``tests/core/test_flat_equivalence.py`` pins this on randomized inputs, and
+the result is independent of how candidates are chunked across workers.
+
+``PruningConfig.batch_rows`` caps how many member rows one *classification
+block* gathers, bounding the per-block ``(t, u, u)`` distance allocations for
+large candidate sets. It is not a global memory bound: the flat member matrix
+of a chunk is gathered up front, and a single tuple with more than
+``batch_rows`` members still classifies as one (1, u, u) block.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
-from ..ann.distances import pairwise_distances
+from ..ann.distances import batched_pairwise_distances, pairwise_distances
 from ..config import PruningConfig
 from ..data.entity import EntityRef
-from .merging import MergeItem, weighted_mean_vector
+from .merging import ItemTable, MergeItem, bucketed_weighted_mean, weighted_mean_vector
 from .parallel import ParallelExecutor, partition
+from .representation import EmbeddingStore
 
 
 @dataclass
@@ -33,6 +56,9 @@ def classify_entities(
     vectors: np.ndarray, epsilon: float, min_pts: int, metric: str = "euclidean"
 ) -> EntityClassification:
     """Classify the members of one data item (Algorithm 4).
+
+    This is the single-tuple reference implementation; the batched path in
+    :func:`prune_items` reproduces it bit for bit via boolean masks.
 
     Args:
         vectors: ``(u, d)`` member embeddings of the data item.
@@ -64,12 +90,80 @@ def classify_entities(
     return classification
 
 
+def _classify_members(
+    member_matrix: np.ndarray, offsets: np.ndarray, config: PruningConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched Algorithm 4 over the flat member matrix of many candidates.
+
+    Args:
+        member_matrix: ``(M, d)`` concatenated member vectors of all candidates.
+        offsets: ``(C + 1,)`` CSR offsets; candidate ``i`` owns rows
+            ``offsets[i]:offsets[i + 1]``.
+        config: pruning settings (``batch_rows`` bounds one block's gather).
+
+    Returns:
+        ``(keep, keep_counts)`` — a boolean mask over the ``M`` member rows
+        (core or reachable members) and the per-candidate survivor counts.
+    """
+    sizes = np.diff(offsets)
+    keep = np.zeros(member_matrix.shape[0], dtype=bool)
+    keep_counts = np.zeros(len(sizes), dtype=np.int64)
+    for u in np.unique(sizes):
+        u = int(u)
+        if u == 0:
+            continue
+        items_u = np.flatnonzero(sizes == u)
+        block_items = max(1, int(config.batch_rows) // u)
+        for start in range(0, len(items_u), block_items):
+            block = items_u[start : start + block_items]
+            flat_positions = (offsets[block][:, None] + np.arange(u)[None, :]).reshape(-1)
+            stacked = np.asarray(member_matrix[flat_positions], dtype=np.float32)
+            stacked = stacked.reshape(len(block), u, member_matrix.shape[1])
+            distances = batched_pairwise_distances(stacked, config.metric)
+            neighbor_masks = distances <= config.epsilon
+            core = neighbor_masks.sum(axis=2) >= config.min_pts
+            reachable = ~core & (neighbor_masks & core[:, None, :]).any(axis=2)
+            keep_block = core | reachable
+            keep[flat_positions] = keep_block.reshape(-1)
+            keep_counts[block] = keep_block.sum(axis=1)
+    return keep, keep_counts
+
+
+def _rebuild_vectors(
+    member_matrix: np.ndarray, kept_positions: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Weighted-mean representatives for partially pruned candidates, batched.
+
+    Reproduces ``weighted_mean_vector(survivors, ones)`` per candidate bit for
+    bit: candidates are bucketed by survivor count and each bucket reduces
+    through :func:`~repro.core.merging.bucketed_weighted_mean` (unit weights),
+    the shared kernel that carries the byte-identity argument.
+    """
+    vectors: list[np.ndarray | None] = [None] * len(kept_positions)
+    if not kept_positions:
+        return []
+    counts = np.fromiter((len(p) for p in kept_positions), dtype=np.int64, count=len(kept_positions))
+    for s in np.unique(counts):
+        s = int(s)
+        bucket = np.flatnonzero(counts == s)
+        positions = np.concatenate([kept_positions[i] for i in bucket])
+        stacked = member_matrix[positions].reshape(len(bucket), s, member_matrix.shape[1])
+        weights = np.ones((len(bucket), s), dtype=np.float32)
+        normalized = bucketed_weighted_mean(stacked, weights)
+        for row, i in enumerate(bucket):
+            vectors[i] = normalized[row].astype(np.float32)
+    return vectors  # type: ignore[return-value]
+
+
 def prune_item(
     item: MergeItem,
-    embedding_lookup: dict[EntityRef, np.ndarray],
+    embedding_lookup: Mapping[EntityRef, np.ndarray],
     config: PruningConfig,
 ) -> MergeItem | None:
-    """Prune one candidate tuple; return ``None`` if fewer than 2 members survive."""
+    """Prune one candidate tuple; return ``None`` if fewer than 2 members survive.
+
+    Single-tuple reference path (the batched pipeline reproduces it exactly).
+    """
     if item.size < 2:
         return None
     vectors = np.stack([embedding_lookup[ref] for ref in item.members])
@@ -88,9 +182,59 @@ def prune_item(
     return MergeItem(members=members, vector=vector.astype(np.float32))
 
 
+def _assemble_survivors(
+    candidates: list[MergeItem],
+    member_matrix: np.ndarray,
+    offsets: np.ndarray,
+    config: PruningConfig,
+) -> list[MergeItem]:
+    """Classify a gathered candidate chunk and build its surviving items."""
+    keep, keep_counts = _classify_members(member_matrix, offsets, config)
+    survivors: list[MergeItem] = []
+    partial_slots: list[int] = []
+    partial_members: list[tuple[EntityRef, ...]] = []
+    partial_positions: list[np.ndarray] = []
+    for i, item in enumerate(candidates):
+        count = int(keep_counts[i])
+        if count < 2:
+            continue
+        if count == item.size:
+            survivors.append(item)  # untouched tuples keep their identity
+            continue
+        start = int(offsets[i])
+        kept_local = np.flatnonzero(keep[start : int(offsets[i + 1])])
+        partial_slots.append(len(survivors))
+        partial_members.append(tuple(item.members[j] for j in kept_local.tolist()))
+        partial_positions.append(start + kept_local)
+        survivors.append(item)  # placeholder, replaced below
+    rebuilt = _rebuild_vectors(member_matrix, partial_positions)
+    for slot, members, vector in zip(partial_slots, partial_members, rebuilt):
+        survivors[slot] = MergeItem(members=members, vector=vector)
+    return survivors
+
+
+def _prune_chunk(
+    chunk: list[MergeItem],
+    embedding_lookup: Mapping[EntityRef, np.ndarray],
+    config: PruningConfig,
+) -> list[MergeItem]:
+    """Batched pruning of one chunk of candidate items."""
+    if not chunk:
+        return []
+    sizes = np.fromiter((item.size for item in chunk), dtype=np.int64, count=len(chunk))
+    offsets = np.zeros(len(chunk) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    members = [ref for item in chunk for ref in item.members]
+    if isinstance(embedding_lookup, EmbeddingStore):
+        member_matrix = embedding_lookup.matrix[embedding_lookup.rows(members)]
+    else:
+        member_matrix = np.stack([embedding_lookup[ref] for ref in members])
+    return _assemble_survivors(chunk, member_matrix, offsets, config)
+
+
 def prune_items(
     items: list[MergeItem],
-    embedding_lookup: dict[EntityRef, np.ndarray],
+    embedding_lookup: Mapping[EntityRef, np.ndarray],
     config: PruningConfig,
     *,
     executor: ParallelExecutor | None = None,
@@ -98,7 +242,9 @@ def prune_items(
     """Prune every candidate tuple, optionally in parallel over partitions.
 
     Only items with >= 2 members are considered (singletons are not
-    predictions); the survivors keep their original relative order.
+    predictions); the survivors keep their original relative order, untouched
+    tuples keep their object identity, and the output is byte-identical
+    regardless of worker count (chunking never changes a slice's arithmetic).
     """
     executor = executor or ParallelExecutor()
     candidates = [item for item in items if item.size >= 2]
@@ -106,18 +252,75 @@ def prune_items(
         return candidates
     if not candidates:
         return []
-
-    def prune_chunk(chunk: list[MergeItem]) -> list[MergeItem]:
-        survivors: list[MergeItem] = []
-        for item in chunk:
-            pruned = prune_item(item, embedding_lookup, config)
-            if pruned is not None:
-                survivors.append(pruned)
-        return survivors
-
     if executor.is_parallel:
         workers = executor.config.max_workers or 4
         chunks = partition(candidates, max(workers, 1) * 2)
-        results = executor.map(prune_chunk, chunks)
+        results = executor.map(lambda chunk: _prune_chunk(chunk, embedding_lookup, config), chunks)
         return [item for chunk_result in results for item in chunk_result]
-    return prune_chunk(candidates)
+    return _prune_chunk(candidates, embedding_lookup, config)
+
+
+def prune_item_table(
+    table: ItemTable,
+    store: EmbeddingStore,
+    config: PruningConfig,
+    *,
+    executor: ParallelExecutor | None = None,
+) -> list[MergeItem]:
+    """Prune candidates straight off a flat :class:`~repro.core.merging.ItemTable`.
+
+    The pipeline fast path: member *row resolution* runs through
+    :meth:`EmbeddingStore.member_rows` as pure integer arithmetic (the dict
+    lookup the historical path did per member). Candidate ``EntityRef`` /
+    :class:`MergeItem` objects are still materialized — candidates are a small
+    fraction of the table — and the surviving tuples come back as item views.
+    Survivor member sets are identical to
+    ``prune_items(candidate_tuples(table), store, config)``.
+    """
+    executor = executor or ParallelExecutor()
+    candidates = table.filter(table.sizes >= 2)
+    if not config.enabled:
+        return candidates.to_items()
+    if len(candidates) == 0:
+        return []
+    rows = store.member_rows(candidates.sources, candidates.member_sources, candidates.member_indices)
+    refs = candidates.member_refs()
+    if executor.is_parallel:
+        workers = executor.config.max_workers or 4
+        bounds = _chunk_bounds(len(candidates), max(workers, 1) * 2)
+    else:
+        bounds = [(0, len(candidates))]
+    mapped = executor.map(
+        lambda chunk_bounds: _prune_table_chunk(candidates, store, rows, refs, chunk_bounds, config),
+        bounds,
+    )
+    return [item for chunk_result in mapped for item in chunk_result]
+
+
+def _chunk_bounds(num_items: int, num_parts: int) -> list[tuple[int, int]]:
+    """Contiguous (first, last) item ranges, delegating to :func:`partition`.
+
+    Reusing the same splitter keeps the flat-table path's chunking in lockstep
+    with the list path's, which the serial == parallel equivalence tests pin.
+    """
+    return [(chunk[0], chunk[-1] + 1) for chunk in partition(range(num_items), num_parts)]
+
+
+def _prune_table_chunk(
+    candidates: ItemTable,
+    store: EmbeddingStore,
+    rows: np.ndarray,
+    refs: list[EntityRef],
+    bounds: tuple[int, int],
+    config: PruningConfig,
+) -> list[MergeItem]:
+    """Prune one contiguous candidate range ``[first, last)`` of the flat table."""
+    first, last = bounds
+    lo, hi = int(candidates.member_offsets[first]), int(candidates.member_offsets[last])
+    chunk_offsets = candidates.member_offsets[first : last + 1] - lo
+    member_matrix = store.matrix[rows[lo:hi]]
+    chunk_items = [
+        MergeItem(members=tuple(refs[lo + o0 : lo + o1]), vector=candidates.vectors[first + i])
+        for i, (o0, o1) in enumerate(zip(chunk_offsets[:-1].tolist(), chunk_offsets[1:].tolist()))
+    ]
+    return _assemble_survivors(chunk_items, member_matrix, chunk_offsets, config)

@@ -3,13 +3,16 @@
 This is stage (I) of the pipeline (Figure 3). The representer owns the
 encoder, serializes every record (optionally restricted to the attributes
 selected by Algorithm 1), and produces one embedding matrix per source table
-plus a flat ``ref -> vector`` lookup used by the pruning stage.
+plus an :class:`EmbeddingStore` — a flat column-store over every encoded row
+that the pruning stage batch-gathers from. The store still implements the
+``ref -> vector`` mapping protocol the historical dict lookup provided, so
+existing callers are untouched.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -19,6 +22,7 @@ from ..data.entity import EntityRef
 from ..data.serialization import serialize_table
 from ..data.table import Table
 from ..embedding import CachingEncoder, SentenceEncoder, create_encoder
+from ..exceptions import DataError
 
 
 @dataclass
@@ -31,6 +35,173 @@ class TableEmbeddings:
 
     def __len__(self) -> int:
         return len(self.refs)
+
+
+class EmbeddingStore(Mapping):
+    """Flat column-store of every encoded row with vectorized row resolution.
+
+    One float32 block per source table (the table's embedding matrix, shared,
+    not copied) plus per-source base offsets into the lazily concatenated
+    :attr:`matrix`. Rows resolve arithmetically — ``base[source] + index`` —
+    because :meth:`repro.data.table.Table.refs` enumerates refs as
+    ``(name, 0..n-1)``; :meth:`add_table` validates that contract.
+
+    The store implements the read-only ``Mapping[EntityRef, np.ndarray]``
+    protocol of the dict it replaced (``store[ref]`` returns the same row view
+    the dict held), while :meth:`rows` / :meth:`member_rows` resolve whole
+    member batches into one int64 row-index array so the pruning stage can
+    gather every candidate member with a single fancy index.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: dict[str, np.ndarray] = {}
+        self._matrix: np.ndarray | None = None
+        self._bases: dict[str, int] = {}
+        self._packed_blocks = 0  # how many blocks are folded into _matrix
+        # Geometrically grown backing buffer; _matrix is always a row-prefix
+        # view of it, so folding a new block is an amortized O(new rows)
+        # append instead of a full re-concatenation per add_table.
+        self._buffer: np.ndarray | None = None
+        self._buffer_rows = 0
+
+    @classmethod
+    def from_embeddings(cls, embeddings: "dict[str, TableEmbeddings]") -> "EmbeddingStore":
+        store = cls()
+        for table_embeddings in embeddings.values():
+            store.add_table(table_embeddings)
+        return store
+
+    def add_table(self, embeddings: "TableEmbeddings") -> None:
+        """Register one table's embedding matrix (refs must be ``(name, 0..n-1)``)."""
+        name = embeddings.table_name
+        if name in self._blocks:
+            raise DataError(f"source {name!r} is already registered in the embedding store")
+        vectors = np.asarray(embeddings.vectors)
+        refs = embeddings.refs
+        if len(refs) != vectors.shape[0]:
+            raise DataError(f"table {name!r} has {len(refs)} refs for {vectors.shape[0]} rows")
+        for i, ref in enumerate(refs):
+            if ref.source != name or ref.index != i:
+                raise DataError(
+                    f"embedding store requires canonical refs; got {ref} at row {i} of {name!r}"
+                )
+        self._blocks[name] = vectors  # folded into the matrix lazily, on access
+
+    def _fold_blocks(self, blocks: list[np.ndarray]) -> np.ndarray:
+        """Append unfolded blocks into the geometric buffer; return the prefix view."""
+        packed = self._packed_blocks if self._buffer is not None else 0
+        new_blocks = blocks[packed:]
+        compatible = self._buffer is not None and all(
+            block.dtype == self._buffer.dtype and block.shape[1] == self._buffer.shape[1]
+            for block in new_blocks
+        )
+        if not compatible:
+            # First fold, or a dtype/width change: rebuild the buffer outright.
+            rebuilt = np.concatenate(blocks)
+            self._buffer = rebuilt
+            self._buffer_rows = int(rebuilt.shape[0])
+            return rebuilt
+        buffer = self._buffer
+        rows = self._buffer_rows
+        total = rows + sum(int(block.shape[0]) for block in new_blocks)
+        if total > buffer.shape[0]:
+            grown = np.empty((max(total, 2 * buffer.shape[0]), buffer.shape[1]), dtype=buffer.dtype)
+            grown[:rows] = buffer[:rows]
+            buffer = grown
+            self._buffer = grown  # old views keep pointing at the old buffer
+        for block in new_blocks:
+            buffer[rows : rows + block.shape[0]] = block
+            rows += int(block.shape[0])
+        self._buffer_rows = rows
+        return buffer[:rows]
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """All rows of all sources, concatenated in registration order.
+
+        Blocks registered since the last access are *appended* into a
+        geometrically grown buffer (amortized O(new rows) per fold), so
+        incremental ``add_table`` streams never re-copy the whole corpus per
+        call. Safe under concurrent readers: ``_bases`` is fully built and
+        published before ``_matrix`` (the attribute readers gate on), so a
+        thread that observes an up-to-date matrix always sees complete base
+        offsets; a racing duplicate fold writes identical values, and
+        already-handed-out views stay valid (reallocations leave them on the
+        old buffer).
+        """
+        matrix = self._matrix
+        num_blocks = len(self._blocks)
+        if matrix is None or self._packed_blocks < num_blocks:
+            blocks = list(self._blocks.values())
+            matrix = self._fold_blocks(blocks) if blocks else np.zeros((0, 0), dtype=np.float32)
+            bases: dict[str, int] = {}
+            base = 0
+            for name, block in self._blocks.items():
+                bases[name] = base
+                base += int(block.shape[0])
+            self._bases = bases
+            self._matrix = matrix  # published after the bases
+            self._packed_blocks = num_blocks
+        return matrix
+
+    # ------------------------------------------------------- row resolution
+    def rows(self, refs: Sequence[EntityRef]) -> np.ndarray:
+        """Row indices into :attr:`matrix` for a batch of refs."""
+        self.matrix  # ensure bases
+        bases = self._bases
+        blocks = self._blocks
+        out = np.empty(len(refs), dtype=np.int64)
+        for i, ref in enumerate(refs):
+            block = blocks.get(ref.source)
+            if block is None or not 0 <= ref.index < block.shape[0]:
+                raise KeyError(ref)
+            out[i] = bases[ref.source] + ref.index
+        return out
+
+    def member_rows(
+        self, sources: Sequence[str], member_sources: np.ndarray, member_indices: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized row resolution for flat CSR member lists.
+
+        ``member_sources`` indexes into ``sources`` (an
+        :class:`~repro.core.merging.ItemTable`'s source-name table) and
+        ``member_indices`` holds source-row indices; no per-member Python
+        work happens here.
+        """
+        self.matrix  # ensure bases
+        bases = np.empty(len(sources), dtype=np.int64)
+        counts = np.empty(len(sources), dtype=np.int64)
+        for i, name in enumerate(sources):
+            block = self._blocks.get(name)
+            if block is None:
+                raise KeyError(EntityRef(name, 0))
+            bases[i] = self._bases[name]
+            counts[i] = block.shape[0]
+        member_sources = np.asarray(member_sources, dtype=np.int64)
+        member_indices = np.asarray(member_indices, dtype=np.int64)
+        if member_sources.size:
+            invalid = (member_indices < 0) | (member_indices >= counts[member_sources])
+            if invalid.any():
+                bad = int(np.flatnonzero(invalid)[0])
+                raise KeyError(
+                    EntityRef(str(sources[int(member_sources[bad])]), int(member_indices[bad]))
+                )
+        return bases[member_sources] + member_indices
+
+    # ------------------------------------------------------ Mapping protocol
+    def __getitem__(self, ref: EntityRef) -> np.ndarray:
+        block = self._blocks.get(ref.source)
+        if block is None or not 0 <= ref.index < block.shape[0]:
+            raise KeyError(ref)
+        return block[ref.index]
+
+    def __iter__(self) -> Iterator[EntityRef]:
+        for name, block in self._blocks.items():
+            for i in range(block.shape[0]):
+                yield EntityRef(name, i)
+
+    def __len__(self) -> int:
+        return sum(int(block.shape[0]) for block in self._blocks.values())
 
 
 class EntityRepresenter:
@@ -83,10 +254,10 @@ class EntityRepresenter:
         }
 
     @staticmethod
-    def embedding_lookup(embeddings: dict[str, TableEmbeddings]) -> dict[EntityRef, np.ndarray]:
-        """Flatten per-table embeddings into a ``ref -> vector`` mapping."""
-        lookup: dict[EntityRef, np.ndarray] = {}
-        for table_embeddings in embeddings.values():
-            for ref, vector in zip(table_embeddings.refs, table_embeddings.vectors):
-                lookup[ref] = vector
-        return lookup
+    def embedding_lookup(embeddings: dict[str, TableEmbeddings]) -> EmbeddingStore:
+        """Flatten per-table embeddings into a ``ref -> vector`` mapping.
+
+        Returns an :class:`EmbeddingStore` — a drop-in read-only replacement
+        for the dict this used to build, with batched row resolution on top.
+        """
+        return EmbeddingStore.from_embeddings(embeddings)

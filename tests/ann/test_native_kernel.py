@@ -1,0 +1,96 @@
+"""Native HNSW kernel vs pure-Python path: byte identity on randomized inputs.
+
+The runtime-compiled kernel (``repro/ann/native.py``) must produce graphs and
+query results identical to the Python loops — it runs the same algorithm and
+calls the same OpenBLAS routines. When the kernel is unavailable (no
+toolchain, ``REPRO_NATIVE=0``), both paths are the Python path and the tests
+still hold trivially.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.ann import native
+from repro.ann.hnsw import HNSWIndex
+
+
+def _pair(metric, seed, **kwargs):
+    python_index = HNSWIndex(metric=metric, seed=seed, **kwargs)
+    python_index._use_native = False
+    native_index = HNSWIndex(metric=metric, seed=seed, **kwargs)
+    native_index._use_native = True
+    return python_index, native_index
+
+
+@pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_native_build_and_query_bitwise_match(metric, seed):
+    rng = np.random.default_rng(seed)
+    vectors = rng.normal(size=(220, 19)).astype(np.float32)
+    vectors[9] = vectors[2]  # exact duplicate rows → distance ties
+    queries = rng.normal(size=(40, 19)).astype(np.float32)
+    python_index, native_index = _pair(metric, seed, max_degree=5, ef_construction=25, ef_search=17)
+    python_index.build(vectors)
+    native_index.build(vectors)
+    for k in (1, 3, 20):
+        p_idx, p_dist = python_index.query(queries, k)
+        n_idx, n_dist = native_index.query(queries, k)
+        assert np.array_equal(p_idx, n_idx)
+        assert p_dist.tobytes() == n_dist.tobytes()
+
+
+def test_native_extend_bitwise_matches_python_extend():
+    rng = np.random.default_rng(11)
+    vectors = rng.normal(size=(150, 24)).astype(np.float32)
+    python_index, native_index = _pair("cosine", 4)
+    python_index.build(vectors[:90]).extend(vectors[90:])
+    native_index.build(vectors[:90]).extend(vectors[90:])
+    p_idx, p_dist = python_index.query(vectors[:25], 4)
+    n_idx, n_dist = native_index.query(vectors[:25], 4)
+    assert np.array_equal(p_idx, n_idx)
+    assert p_dist.tobytes() == n_dist.tobytes()
+    assert python_index._node_levels == native_index._node_levels
+    assert python_index._entry_point == native_index._entry_point
+    n = vectors.shape[0]
+    for layer in range(python_index._max_level + 1):
+        assert np.array_equal(
+            python_index._layer_neighbors[layer][:n], native_index._layer_neighbors[layer][:n]
+        )
+        assert (
+            python_index._layer_dists[layer][:n].tobytes()
+            == native_index._layer_dists[layer][:n].tobytes()
+        )
+        assert list(python_index._layer_degrees[layer][:n]) == list(
+            native_index._layer_degrees[layer][:n]
+        )
+
+
+def test_native_kernel_status_is_deterministic():
+    """get_kernel() caches its decision; a disabled kernel reports why."""
+    first = native.get_kernel()
+    second = native.get_kernel()
+    assert first is second
+    if first is None:
+        assert native.disabled_reason
+
+
+def test_native_kernel_active_when_toolchain_present():
+    """A compile or self-test regression must fail loudly, not silently fall back.
+
+    Skips only for genuine environment limitations (no C compiler, no
+    resolvable ILP64 OpenBLAS, or an explicit REPRO_NATIVE opt-out); any other
+    unavailability means the kernel regressed and the headline speedup is
+    silently gone.
+    """
+    import shutil
+
+    if os.environ.get("REPRO_NATIVE", "").lower() in ("0", "off", "false"):
+        pytest.skip("native kernel explicitly disabled")
+    if shutil.which(os.environ.get("CC", "gcc")) is None:
+        pytest.skip("no C compiler on this machine")
+    kernel = native.get_kernel()
+    if kernel is None and native.disabled_reason and "OpenBLAS" in native.disabled_reason:
+        pytest.skip(f"environment limitation: {native.disabled_reason}")
+    assert kernel is not None, f"native kernel regressed: {native.disabled_reason}"
