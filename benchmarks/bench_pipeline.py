@@ -9,8 +9,11 @@ repo root so the perf trajectory is tracked run over run.
 Reference points on the bench box (music-200, ``bench`` profile, 11,070 rows,
 best of 3): the PR-1 code ran 55.5 s end to end with 53.7 s in
 merging + pruning; the flat-array merge/prune engines plus the native HNSW
-kernel run 8.2 s end to end with 6.5 s in merging + pruning (~6.8x / ~8.2x),
-with byte-identical predicted tuples (pinned by
+kernel brought that to 8.2 s end to end with 6.5 s in merging + pruning
+(~6.8x / ~8.2x). The PR-3 columnar text substrate then cut the front end
+(attribute selection + representation) from 1.73 s to ~0.45 s (~3.7-4x,
+tracked as ``selection_plus_representation``), landing at ~6.9 s end to end.
+Predicted tuples stay byte-identical throughout (pinned by
 ``tests/core/test_pipeline_regression.py``).
 
 Run at scale:    REPRO_BENCH_PROFILE=bench python -m pytest benchmarks/bench_pipeline.py -q -s
@@ -57,6 +60,9 @@ def run_pipeline_bench(
         "num_tuples": len(best_result.tuples),
         "stages": {name: round(value, 4) for name, value in stages.items()},
         "merging_plus_pruning": round(stages["merging"] + stages["pruning"], 4),
+        "selection_plus_representation": round(
+            stages["attribute_selection"] + stages["representation"], 4
+        ),
         "wall_total": round(best_total, 4),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
@@ -93,12 +99,17 @@ def write_bench_record(record: dict, path: str = BENCH_JSON_PATH) -> None:
 
 def _format_record(record: dict) -> str:
     stages = record["stages"]
+    front_end = record.get(
+        "selection_plus_representation",
+        round(stages["attribute_selection"] + stages["representation"], 4),
+    )
     return (
         f"{record['dataset']} ({record['profile']}, {record['rows']} rows, "
         f"backend={record['backend']}): "
         f"S={stages['attribute_selection']:.2f}s R={stages['representation']:.2f}s "
         f"M={stages['merging']:.2f}s P={stages['pruning']:.2f}s "
-        f"M+P={record['merging_plus_pruning']:.2f}s total={record['wall_total']:.2f}s "
+        f"S+R={front_end:.2f}s M+P={record['merging_plus_pruning']:.2f}s "
+        f"total={record['wall_total']:.2f}s "
         f"({record['num_tuples']} tuples)"
     )
 

@@ -84,6 +84,40 @@ def test_smoke_pipeline_module_times():
 
 
 @pytest.mark.smoke
+def test_smoke_encoder_batch_fast_path_is_exercised():
+    """A real pipeline run must flow through the columnar encoder fast path.
+
+    Injects the encoder into MultiEM and checks its batch counters after the
+    run: every encode (attribute selection *and* representation) must take
+    the CSR token-table path — a silent fallback to per-text encoding would
+    be an order-of-magnitude front-end regression at bench scale.
+    """
+    from repro.config import paper_default_config
+    from repro.core import MultiEM
+    from repro.data.generators import load_benchmark
+    from repro.embedding import HashedNGramEncoder
+
+    dataset = load_benchmark("music-20", profile="tiny")
+    encoder = HashedNGramEncoder()
+    config = paper_default_config("music-20").with_overrides(merging={"index": "hnsw"})
+    started = time.perf_counter()
+    result = MultiEM(config, encoder=encoder).match(dataset)
+    elapsed = time.perf_counter() - started
+    assert result.tuples, "pipeline produced no tuples"
+    assert encoder.batch_encodes > 0, "columnar batch encode path never ran"
+    assert encoder.tokens_pooled > 0, "CSR pooling kernel pooled no tokens"
+    # Attribute selection must splice off the shared column token index: the
+    # fast path encodes base + p shuffles without serializing texts, so the
+    # batch counter covers at least (schema size + 1) selection passes plus
+    # one representation pass per source table.
+    expected_passes = len(dataset.schema) + 1 + len(dataset.table_list())
+    assert encoder.batch_encodes >= expected_passes, (
+        f"expected >= {expected_passes} batch passes, saw {encoder.batch_encodes}"
+    )
+    assert elapsed < MERGE_CEILING_SECONDS, f"tiny pipeline took {elapsed:.1f}s"
+
+
+@pytest.mark.smoke
 def test_smoke_brute_force_batched_query(smoke_vectors):
     a, b = smoke_vectors
     index = BruteForceIndex(batch_size=128).build(a)

@@ -50,6 +50,7 @@ from .distances import (
     cosine_distance_matrix,
     distance_matrix,
     euclidean_distance_matrix,
+    paired_distances,
     pairwise_distances,
     point_distances,
 )
@@ -75,6 +76,7 @@ __all__ = [
     "distance_matrix",
     "cosine_distance_matrix",
     "euclidean_distance_matrix",
+    "paired_distances",
     "pairwise_distances",
     "batched_pairwise_distances",
     "point_distances",

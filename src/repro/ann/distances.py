@@ -64,6 +64,35 @@ def distance_matrix(a: np.ndarray, b: np.ndarray, metric: str = "cosine") -> np.
     return euclidean_distance_matrix(a, b)
 
 
+def paired_distances(a: np.ndarray, b: np.ndarray, metric: str = "cosine") -> np.ndarray:
+    """Row-wise paired distances: ``out[i] = distance(a[i], b[i])``.
+
+    The O(m·d) replacement for reading the diagonal of
+    :func:`distance_matrix` (O(m²·d)). Mirrors the matrix kernels' formulas
+    exactly (same normalization, clipping, and clamping); the row dot
+    products run through one ``einsum`` pass instead of a BLAS GEMM, which
+    can differ from the corresponding matrix diagonal in the last float32
+    ulp on BLAS builds whose GEMM accumulation order is shape-dependent.
+    Exactly representable cases (identical rows, axis-aligned unit vectors)
+    are unaffected.
+    """
+    _check_metric(metric)
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if metric == "cosine":
+        a_norm = np.linalg.norm(a, axis=1, keepdims=True)
+        b_norm = np.linalg.norm(b, axis=1, keepdims=True)
+        a_norm[a_norm == 0] = 1.0
+        b_norm[b_norm == 0] = 1.0
+        similarity = np.einsum("ij,ij->i", a / a_norm, b / b_norm)
+        return np.clip(1.0 - similarity, 0.0, 2.0)
+    a_sq = (a * a).sum(axis=1)
+    b_sq = (b * b).sum(axis=1)
+    squared = a_sq + b_sq - 2.0 * np.einsum("ij,ij->i", a, b)
+    np.maximum(squared, 0.0, out=squared)
+    return np.sqrt(squared)
+
+
 def pairwise_distances(vectors: np.ndarray, metric: str = "euclidean") -> np.ndarray:
     """Symmetric distance matrix among rows of one matrix."""
     return distance_matrix(vectors, vectors, metric)

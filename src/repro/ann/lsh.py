@@ -7,15 +7,19 @@ exactly. Useful for the design-ablation benchmark comparing ANN backends.
 
 Buckets are stored CSR-style per hash table (sorted signature array + offsets
 into one flat node array) so the probe loop is a batched ``searchsorted``
-over every query × probe signature instead of a Python dict lookup per probe,
-and re-ranking runs through the prepared distance kernel. Results are
-bit-identical to the dict-based implementation.
+over every query × probe signature instead of a Python dict lookup per probe.
+Candidate collection is flat as well: every hit bucket's slice is gathered
+into one per-table ``(query, node)`` key stream, de-duplicated and grouped by
+query with a single ``np.unique`` + ``searchsorted``, and re-ranking runs
+through the prepared distance kernel. Results are bit-identical to the
+dict-based implementation.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..arrays import csr_positions
 from ..exceptions import IndexError_
 from .base import NearestNeighborIndex
 from .distances import PreparedVectors
@@ -98,29 +102,40 @@ class LSHIndex(NearestNeighborIndex):
         distances = np.full((num_queries, k), np.inf, dtype=np.float64)
         prepared_queries = self._prepared.prepare_queries(queries)
         # Batched bucket lookup: one searchsorted per hash table covers every
-        # (query, probe) pair at once.
-        per_table_hits: list[tuple[np.ndarray, np.ndarray]] = []
+        # (query, probe) pair at once; each table's hit bucket slices are then
+        # gathered into one flat (query, node) stream — no per-row Python
+        # slice collection.
+        num_nodes = np.int64(self._vectors.shape[0])
+        key_chunks: list[np.ndarray] = []
         for t in range(self.num_tables):
-            probes = self._probe_signatures(self._signature(t, queries))
             buckets = self._bucket_signatures[t]
-            if len(buckets):
-                positions = np.minimum(np.searchsorted(buckets, probes), len(buckets) - 1)
-                valid = buckets[positions] == probes
-            else:
-                positions = np.zeros(probes.shape, dtype=np.int64)
-                valid = np.zeros(probes.shape, dtype=bool)
-            per_table_hits.append((positions, valid))
-        for row in range(num_queries):
-            chunks: list[np.ndarray] = []
-            for t in range(self.num_tables):
-                positions, valid = per_table_hits[t]
-                offsets = self._bucket_offsets[t]
-                nodes = self._bucket_nodes[t]
-                for bucket in positions[row][valid[row]].tolist():
-                    chunks.append(nodes[offsets[bucket] : offsets[bucket + 1]])
-            if not chunks:
+            if not len(buckets):
                 continue
-            candidates = np.unique(np.concatenate(chunks))
+            probes = self._probe_signatures(self._signature(t, queries))
+            positions = np.minimum(np.searchsorted(buckets, probes), len(buckets) - 1)
+            valid = buckets[positions] == probes
+            hit_rows, _ = np.nonzero(valid)
+            hit_buckets = positions[valid]
+            offsets = self._bucket_offsets[t]
+            counts = offsets[hit_buckets + 1] - offsets[hit_buckets]
+            if not int(counts.sum()):
+                continue
+            candidates = self._bucket_nodes[t][csr_positions(offsets[hit_buckets], counts)]
+            # Encode (query, node) as one int64 key; unique() below both
+            # de-duplicates across tables/probes and sorts candidates per
+            # query ascending — the order np.unique gave the old per-row path.
+            key_chunks.append(np.repeat(hit_rows.astype(np.int64), counts) * num_nodes + candidates)
+        if not key_chunks:
+            return indices, distances
+        keys = np.unique(np.concatenate(key_chunks))
+        candidate_rows = keys // num_nodes
+        flat_candidates = keys % num_nodes
+        boundaries = np.searchsorted(candidate_rows, np.arange(num_queries + 1, dtype=np.int64))
+        for row in range(num_queries):
+            start, end = boundaries[row], boundaries[row + 1]
+            if start == end:
+                continue
+            candidates = flat_candidates[start:end]
             dists = self._prepared.row_distances(prepared_queries[row], candidates)
             order = np.argsort(dists)[:k]
             idx, dist = self._pad(

@@ -68,19 +68,32 @@ def create_index(
     raise ConfigurationError(f"unknown ANN backend {backend!r}")
 
 
+def _top_k_pair_array(
+    index: NearestNeighborIndex, queries: np.ndarray, k: int, max_distance: float
+) -> np.ndarray:
+    """Directed top-K pairs as a deduplicated ``(p, 2)`` int64 array.
+
+    One boolean-mask pass over the batched query results replaces the
+    per-element Python loop: a slot survives when its neighbour is real
+    (``>= 0``), its distance finite, and within ``max_distance``. Rows are
+    sorted (and de-duplicated) by ``(query_row, index_row)`` via ``np.unique``
+    — exactly the historical set's membership.
+    """
+    indices, distances = index.query(queries, k)
+    keep = (indices >= 0) & np.isfinite(distances) & (distances <= max_distance)
+    query_rows = np.broadcast_to(
+        np.arange(indices.shape[0], dtype=np.int64)[:, None], indices.shape
+    )[keep]
+    pairs = np.stack([query_rows, indices[keep]], axis=1)
+    return np.unique(pairs, axis=0)
+
+
 def top_k_pairs(
     index: NearestNeighborIndex, queries: np.ndarray, k: int, max_distance: float
 ) -> set[tuple[int, int]]:
     """Directed top-K pairs (query_row, index_row) within ``max_distance``."""
-    indices, distances = index.query(queries, k)
-    pairs: set[tuple[int, int]] = set()
-    for query_row in range(indices.shape[0]):
-        for neighbor, distance in zip(indices[query_row], distances[query_row]):
-            if neighbor < 0 or not np.isfinite(distance):
-                continue
-            if distance <= max_distance:
-                pairs.add((query_row, int(neighbor)))
-    return pairs
+    array = _top_k_pair_array(index, queries, k, max_distance)
+    return {(int(left), int(right)) for left, right in array}
 
 
 def mutual_top_k(
@@ -137,19 +150,22 @@ def mutual_top_k(
     index_b = build_side(vectors_b)
     index_a = build_side(vectors_a)
 
-    forward = top_k_pairs(index_b, vectors_a, k, max_distance)  # a -> b
-    backward = top_k_pairs(index_a, vectors_b, k, max_distance)  # b -> a
-    mutual = forward & {(a, b) for b, a in backward}
-    if not mutual:
+    forward = _top_k_pair_array(index_b, vectors_a, k, max_distance)  # a -> b
+    backward = _top_k_pair_array(index_a, vectors_b, k, max_distance)  # b -> a
+    # Mutual pairs = forward ∩ swapped backward, intersected as structured
+    # rows (each (left, right) pair is one comparable element).
+    pair_dtype = np.dtype([("left", np.int64), ("right", np.int64)])
+    forward_view = np.ascontiguousarray(forward).view(pair_dtype).reshape(-1)
+    backward_view = np.ascontiguousarray(backward[:, ::-1]).view(pair_dtype).reshape(-1)
+    mutual = np.intersect1d(forward_view, backward_view, assume_unique=True)
+    if mutual.size == 0:
         return []
-    lefts = np.array([a for a, _ in mutual])
-    rights = np.array([b for _, b in mutual])
-    from .distances import distance_matrix  # local import to avoid cycle at module load
+    lefts = mutual["left"]
+    rights = mutual["right"]
+    from .distances import paired_distances  # local import to avoid cycle at module load
 
-    dists = distance_matrix(vectors_a[lefts], vectors_b[rights], metric)
-    pairs = [
-        MutualPair(int(left), int(right), float(dists[i, i]))
-        for i, (left, right) in enumerate(zip(lefts, rights))
+    dists = paired_distances(vectors_a[lefts], vectors_b[rights], metric)
+    order = np.lexsort((rights, lefts, dists))
+    return [
+        MutualPair(int(lefts[i]), int(rights[i]), float(dists[i])) for i in order
     ]
-    pairs.sort(key=lambda p: (p.distance, p.left, p.right))
-    return pairs

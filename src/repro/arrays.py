@@ -1,0 +1,20 @@
+"""Flat-array (CSR) index helpers shared by the columnar engines.
+
+The merge/prune engine, the LSH candidate gather, and Algorithm 1's column
+splice all gather variable-length ranges out of flat arrays; this module
+holds the one prefix-sum idiom they share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def csr_positions(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Flat positions of the concatenated ranges ``[starts[i], starts[i]+counts[i])``."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    cum = np.cumsum(counts) - counts
+    return np.repeat(np.asarray(starts, dtype=np.int64) - cum, counts) + np.arange(total)

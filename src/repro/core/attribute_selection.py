@@ -15,6 +15,17 @@ The only reading consistent with the example and with the stated goal
 *similarity* between original and shuffled embeddings is **at most** γ —
 equivalently, when the mean cosine distance (the significance score reported
 here) is at least ``1 - γ``. That is what this module implements.
+
+Implementation: the sampled corpus is tokenized **once per column** into CSR
+token-id tables over one shared vocabulary. Because shuffling a column only
+permutes that column's values, every per-attribute perturbation is a pure
+integer splice — gather the shuffled column's token rows, leave the other
+``p - 1`` columns' rows in place — followed by the encoder's CSR pooling
+kernel. Algorithm 1 therefore serializes and tokenizes the unchanged
+attributes once instead of ``p`` times. Rows whose serialized form overflows
+``max_sequence_length`` (whitespace-level truncation can reshape the token
+stream) fall back to the canonical serialize-and-encode path, so every
+embedding stays byte-identical to the historical implementation.
 """
 
 from __future__ import annotations
@@ -24,10 +35,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..arrays import csr_positions
 from ..config import RepresentationConfig
 from ..data.dataset import MultiTableDataset
-from ..data.serialization import serialize_table
+from ..data.serialization import serialize_columns
 from ..data.table import Table
+from ..embedding.hashed import HashedNGramEncoder
+from ..text.tokenizer import word_tokens_batch
 from .representation import EntityRepresenter
 
 
@@ -51,6 +65,146 @@ class AttributeSelectionResult:
     gamma: float = 0.9
     sample_size: int = 0
     elapsed_seconds: float = 0.0
+
+
+class _ColumnTokenIndex:
+    """Per-column CSR token-id tables over one shared vocabulary.
+
+    Built once from a sampled table's value columns; serves every
+    per-attribute shuffle of Algorithm 1 as integer gathers. Holds, per
+    column: serializer-level whitespace token counts (for replay of the
+    serializer's ``max_tokens`` truncation), word-token counts/offsets, and
+    flat token ids into :attr:`vocabulary` (sorted unique tokens across all
+    columns — shuffles permute values, so no shuffle introduces new tokens).
+    """
+
+    def __init__(self, columns: list[list[str]]) -> None:
+        self.num_rows = len(columns[0]) if columns else 0
+        processed = [[value.strip().lower() for value in column] for column in columns]
+        self.whitespace_counts = np.array(
+            [[len(value.split()) for value in column] for column in processed], dtype=np.int64
+        )
+        tables = [word_tokens_batch(column) for column in processed]
+        sizes = [table.tokens.size for table in tables]
+        if sum(sizes):
+            flat_tokens = np.concatenate([table.tokens for table in tables])
+            self.vocabulary, flat_ids = np.unique(flat_tokens, return_inverse=True)
+            splits = np.cumsum(sizes)[:-1]
+            self.column_ids = np.split(np.asarray(flat_ids, dtype=np.int64), splits)
+        else:
+            self.vocabulary = np.empty(0, dtype=object)
+            self.column_ids = [np.empty(0, dtype=np.int64) for _ in tables]
+        self.column_counts = [table.counts for table in tables]
+        self.column_offsets = [table.offsets for table in tables]
+
+    def splice(
+        self, shuffled_column: int | None, permutation: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat per-row token-id stream with one column's rows permuted.
+
+        Returns ``(token_ids, per_row_counts)``: row ``i``'s ids are the
+        concatenation, in column order, of each column's row-``i`` ids —
+        except the shuffled column, which contributes row ``permutation[i]``.
+        Pure integer gathers; no string is touched.
+        """
+        n = self.num_rows
+        row_counts = np.zeros(n, dtype=np.int64)
+        effective_counts = []
+        for j, counts in enumerate(self.column_counts):
+            if j == shuffled_column:
+                counts = counts[permutation]
+            effective_counts.append(counts)
+            row_counts += counts
+        flat = np.empty(int(row_counts.sum()), dtype=np.int64)
+        destinations = np.zeros(n, dtype=np.int64)
+        np.cumsum(row_counts[:-1], out=destinations[1:])
+        for j, counts in enumerate(effective_counts):
+            starts = self.column_offsets[j][:-1]
+            if j == shuffled_column:
+                starts = starts[permutation]
+            flat[csr_positions(destinations, counts)] = self.column_ids[j][
+                csr_positions(starts, counts)
+            ]
+            destinations += counts
+        return flat, row_counts
+
+
+def _spliced_scores(
+    columns: list[list[str]],
+    schema: tuple[str, ...],
+    base_texts: list[str],
+    encoder: HashedNGramEncoder,
+    config: RepresentationConfig,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """Score every attribute off the shared column token index (fast path)."""
+    index = _ColumnTokenIndex(columns)
+    n = index.num_rows
+    vectors, weights = encoder.token_vectors_and_weights(index.vocabulary.tolist())
+    base_whitespace_total = index.whitespace_counts.sum(axis=0)
+    max_tokens = config.max_sequence_length
+
+    def embed(shuffled_column: int | None, permutation: np.ndarray | None) -> np.ndarray:
+        token_ids, row_counts = index.splice(shuffled_column, permutation)
+        embeddings = encoder.encode_token_ids(token_ids, row_counts, vectors, weights)
+        if shuffled_column is None:
+            whitespace_totals = base_whitespace_total
+        else:
+            whitespace_totals = (
+                base_whitespace_total
+                - index.whitespace_counts[shuffled_column]
+                + index.whitespace_counts[shuffled_column][permutation]
+            )
+        overflow = np.flatnonzero(whitespace_totals > max_tokens)
+        if overflow.size:
+            # Whitespace-level truncation reshapes these rows' token streams;
+            # re-run them through the canonical serialize → encode path.
+            if shuffled_column is None:
+                texts = [base_texts[i] for i in overflow]
+            else:
+                texts = serialize_columns(
+                    [
+                        [
+                            column[int(permutation[i])] if j == shuffled_column else column[int(i)]
+                            for i in overflow
+                        ]
+                        for j, column in enumerate(columns)
+                    ],
+                    max_tokens=max_tokens,
+                )
+            embeddings[overflow] = encoder.encode(texts)
+        return embeddings
+
+    base_embeddings = embed(None, None)
+    scores: dict[str, float] = {}
+    for position, attribute in enumerate(schema):
+        permutation = rng.permutation(n)
+        shuffled_embeddings = embed(position, permutation)
+        similarity = np.einsum("ij,ij->i", base_embeddings, shuffled_embeddings)
+        scores[attribute] = float(np.mean(1.0 - similarity))
+    return scores
+
+
+def _text_path_scores(
+    columns: list[list[str]],
+    schema: tuple[str, ...],
+    base_texts: list[str],
+    representer: EntityRepresenter,
+    config: RepresentationConfig,
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """Serialize-and-encode scoring for encoders without a CSR kernel."""
+    base_embeddings = representer.encode_texts(base_texts)
+    scores: dict[str, float] = {}
+    for position, attribute in enumerate(schema):
+        permutation = rng.permutation(len(base_texts))
+        shuffled_columns = list(columns)
+        shuffled_columns[position] = [columns[position][int(j)] for j in permutation]
+        shuffled_texts = serialize_columns(shuffled_columns, max_tokens=config.max_sequence_length)
+        shuffled_embeddings = representer.encode_texts(shuffled_texts)
+        similarity = np.einsum("ij,ij->i", base_embeddings, shuffled_embeddings)
+        scores[attribute] = float(np.mean(1.0 - similarity))
+    return scores
 
 
 def select_attributes(
@@ -87,19 +241,19 @@ def select_attributes(
             sample_size=len(sampled), elapsed_seconds=elapsed,
         )
 
-    # Line 3: initial embeddings of the sampled rows.
-    base_texts = serialize_table(sampled, max_tokens=config.max_sequence_length)
+    # Line 3: serialize + fit on the sampled corpus (column-wise).
+    columns = [sampled.column(attribute) for attribute in schema]
+    base_texts = serialize_columns(columns, max_tokens=config.max_sequence_length)
     representer.encoder.fit(base_texts)
-    base_embeddings = representer.encode_texts(base_texts)
 
-    # Lines 5-11: per-attribute shuffle, re-embed, score.
-    scores: dict[str, float] = {}
-    for attribute in schema:
-        shuffled = sampled.with_column_shuffled(attribute, rng)
-        shuffled_texts = serialize_table(shuffled, max_tokens=config.max_sequence_length)
-        shuffled_embeddings = representer.encode_texts(shuffled_texts)
-        similarity = np.einsum("ij,ij->i", base_embeddings, shuffled_embeddings)
-        scores[attribute] = float(np.mean(1.0 - similarity))
+    # Lines 5-11: per-attribute shuffle, re-embed, score. The hashed encoder
+    # scores every shuffle off the shared column token index (one tokenize
+    # pass total); other encoders re-serialize per attribute.
+    inner = getattr(representer.encoder, "inner", representer.encoder)
+    if isinstance(inner, HashedNGramEncoder):
+        scores = _spliced_scores(columns, schema, base_texts, inner, config, rng)
+    else:
+        scores = _text_path_scores(columns, schema, base_texts, representer, config, rng)
 
     threshold = 1.0 - config.gamma
     selected = tuple(a for a in schema if scores[a] >= threshold)

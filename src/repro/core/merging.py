@@ -50,6 +50,7 @@ import numpy as np
 
 from ..ann.cache import IndexCache
 from ..ann.mutual import mutual_top_k
+from ..arrays import csr_positions
 from ..config import MergingConfig
 from ..data.entity import EntityRef
 from ..embedding.base import normalize_rows
@@ -97,16 +98,6 @@ def weighted_mean_vector(vectors: np.ndarray, weights: np.ndarray) -> np.ndarray
     weights = np.asarray(weights, dtype=np.float32)
     pooled = (weights[:, None] * vectors).sum(axis=0) / float(weights.sum())
     return normalize_rows(pooled[None, :])[0]
-
-
-def _csr_positions(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
-    """Flat positions of the concatenated ranges ``[starts[i], starts[i]+counts[i])``."""
-    counts = np.asarray(counts, dtype=np.int64)
-    total = int(counts.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    cum = np.cumsum(counts) - counts
-    return np.repeat(np.asarray(starts, dtype=np.int64) - cum, counts) + np.arange(total)
 
 
 class ItemTable:
@@ -229,7 +220,7 @@ class ItemTable:
         counts = self.sizes[rows]
         offsets = np.zeros(len(rows) + 1, dtype=np.int64)
         np.cumsum(counts, out=offsets[1:])
-        pos = _csr_positions(self.member_offsets[rows], counts)
+        pos = csr_positions(self.member_offsets[rows], counts)
         return ItemTable(
             self.vectors[rows],
             self.member_sources[pos],
@@ -415,7 +406,7 @@ def merge_item_tables(
     # --------------------------------------------------------- member lists
     if multis.size:
         multi_counts = node_member_counts[multi_nodes]
-        src_pos = _csr_positions(node_member_starts[multi_nodes], multi_counts)
+        src_pos = csr_positions(node_member_starts[multi_nodes], multi_counts)
         stream_group = np.repeat(group[multi_nodes], multi_counts)
         stream_sid = member_sources_cat[src_pos]
         stream_idx = member_indices_cat[src_pos]
@@ -447,12 +438,12 @@ def merge_item_tables(
     out_member_indices = np.empty(int(out_offsets[-1]), dtype=np.int64)
 
     single_nodes = node_of_group[singles]
-    single_src = _csr_positions(node_member_starts[single_nodes], node_member_counts[single_nodes])
-    single_dst = _csr_positions(out_offsets[singles], node_member_counts[single_nodes])
+    single_src = csr_positions(node_member_starts[single_nodes], node_member_counts[single_nodes])
+    single_dst = csr_positions(out_offsets[singles], node_member_counts[single_nodes])
     out_member_sources[single_dst] = member_sources_cat[single_src]
     out_member_indices[single_dst] = member_indices_cat[single_src]
     if multis.size:
-        multi_dst = _csr_positions(out_offsets[multis], multi_member_counts[multis])
+        multi_dst = csr_positions(out_offsets[multis], multi_member_counts[multis])
         out_member_sources[multi_dst] = stream_sid
         out_member_indices[multi_dst] = stream_idx
 

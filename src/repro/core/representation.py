@@ -21,8 +21,9 @@ from ..data.dataset import MultiTableDataset
 from ..data.entity import EntityRef
 from ..data.serialization import serialize_table
 from ..data.table import Table
-from ..embedding import CachingEncoder, SentenceEncoder, create_encoder
+from ..embedding import CachingEncoder, HashedNGramEncoder, SentenceEncoder, create_encoder
 from ..exceptions import DataError
+from ..text.tokenizer import TokenTable, word_tokens_batch
 
 
 @dataclass
@@ -219,24 +220,61 @@ class EntityRepresenter:
         )
         self.encoder = CachingEncoder(inner)
         self._fitted = False
+        # Per-table CSR token tables captured during fit(); encode_table()
+        # replays them straight into the encoder's pooling kernel instead of
+        # re-serializing and re-tokenizing the corpus. Guarded by the table
+        # *object* (kept referenced, so its identity cannot be recycled), the
+        # attribute subset, and the row count (a table appended to after fit
+        # falls back to fresh serialization).
+        self._fit_token_tables: dict[str, tuple[tuple[str, ...] | None, Table, TokenTable]] = {}
 
     # ------------------------------------------------------------------- fit
     def fit(self, dataset: MultiTableDataset, attributes: Sequence[str] | None = None) -> "EntityRepresenter":
         """Fit corpus statistics (IDF / SVD basis) on the serialized dataset."""
+        key = tuple(attributes) if attributes is not None else None
+        inner = self.encoder.inner
+        columnar = isinstance(inner, HashedNGramEncoder)
+        self._fit_token_tables = {}
         corpus: list[str] = []
+        tables: list[TokenTable] = []
         for table in dataset.table_list():
-            corpus.extend(
-                serialize_table(table, attributes, max_tokens=self.config.max_sequence_length)
-            )
-        self.encoder.fit(corpus)
+            texts = serialize_table(table, attributes, max_tokens=self.config.max_sequence_length)
+            if columnar:
+                token_table = word_tokens_batch(texts)
+                tables.append(token_table)
+                self._fit_token_tables[table.name] = (key, table, token_table)
+            else:
+                corpus.extend(texts)
+        if columnar:
+            self.encoder.fit_token_table(TokenTable.concat(tables))
+        else:
+            self.encoder.fit(corpus)
         self._fitted = True
         return self
 
     # ---------------------------------------------------------------- encode
     def encode_table(self, table: Table, attributes: Sequence[str] | None = None) -> TableEmbeddings:
-        """Encode one table into a :class:`TableEmbeddings`."""
-        texts = serialize_table(table, attributes, max_tokens=self.config.max_sequence_length)
-        vectors = self.encoder.encode(texts)
+        """Encode one table into a :class:`TableEmbeddings`.
+
+        When :meth:`fit` already tokenized this table under the same
+        attribute subset (and the table has not grown since), the stashed
+        CSR token table feeds the encoder's pooling kernel directly —
+        byte-identical output, no second serialize/tokenize pass.
+        """
+        key = tuple(attributes) if attributes is not None else None
+        stashed = self._fit_token_tables.get(table.name)
+        inner = self.encoder.inner
+        if (
+            stashed is not None
+            and stashed[0] == key
+            and stashed[1] is table
+            and len(stashed[2]) == len(table)
+            and isinstance(inner, HashedNGramEncoder)
+        ):
+            vectors = inner.encode_token_table(stashed[2])
+        else:
+            texts = serialize_table(table, attributes, max_tokens=self.config.max_sequence_length)
+            vectors = self.encoder.encode(texts)
         return TableEmbeddings(table_name=table.name, refs=table.refs(), vectors=vectors)
 
     def encode_texts(self, texts: Sequence[str]) -> np.ndarray:
@@ -249,9 +287,14 @@ class EntityRepresenter:
         """Encode every table; fits the encoder first if not already fitted."""
         if not self._fitted:
             self.fit(dataset, attributes)
-        return {
+        embeddings = {
             table.name: self.encode_table(table, attributes) for table in dataset.table_list()
         }
+        # The stashed token tables have served their purpose (one replay per
+        # table); drop them so the representer does not pin a duplicate of
+        # the corpus's token strings (and the source tables) in memory.
+        self._fit_token_tables = {}
+        return embeddings
 
     @staticmethod
     def embedding_lookup(embeddings: dict[str, TableEmbeddings]) -> EmbeddingStore:

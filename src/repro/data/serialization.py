@@ -7,6 +7,12 @@ concatenating attribute values::
 
 The enhanced representation module re-serializes entities after attribute
 selection, so serialization accepts an optional attribute subset.
+
+Serialization is columnar: :func:`serialize_table` resolves the attribute
+subset to whole value columns once and :func:`serialize_columns` joins them
+row-wise, instead of materializing an :class:`~repro.data.entity.Entity`
+(one dict) per row. Output is byte-identical to the historical per-entity
+walk (property-tested).
 """
 
 from __future__ import annotations
@@ -51,6 +57,58 @@ def serialize_entity(
     return text
 
 
+def serialize_columns(
+    columns: Sequence[Sequence[str]],
+    *,
+    max_tokens: int | None = None,
+    lowercase: bool = True,
+) -> list[str]:
+    """Serialize aligned value columns into one text per row.
+
+    Args:
+        columns: one value sequence per attribute, all the same length; row
+            ``i`` serializes ``[column[i] for column in columns]``.
+        max_tokens: truncate each row to this many whitespace tokens.
+        lowercase: lowercase each serialized row.
+
+    Returns:
+        One string per row, byte-identical to calling
+        :func:`serialize_entity` on the corresponding entity.
+    """
+    if not columns:
+        return []
+    stripped = [[value.strip() for value in column] for column in columns]
+    texts = [" ".join(filter(None, row_values)) for row_values in zip(*stripped)]
+    if lowercase:
+        texts = [text.lower() for text in texts]
+    if max_tokens is not None:
+        for i, text in enumerate(texts):
+            tokens = text.split()
+            if len(tokens) > max_tokens:
+                texts[i] = " ".join(tokens[:max_tokens])
+    return texts
+
+
+def resolve_columns(table: Table, attributes: Sequence[str] | None = None) -> list[list[str]]:
+    """Value columns for an attribute subset, in subset order.
+
+    Attributes absent from the schema resolve to all-empty columns, matching
+    ``entity.get(attribute, "")`` in :func:`serialize_entity`.
+    """
+    if attributes is None:
+        attributes = table.schema
+    empty: list[str] | None = None
+    columns: list[list[str]] = []
+    for attribute in attributes:
+        if attribute in table.schema:
+            columns.append(table.column(attribute))
+        else:
+            if empty is None:
+                empty = [""] * len(table)
+            columns.append(empty)
+    return columns
+
+
 def serialize_table(
     table: Table,
     attributes: Sequence[str] | None = None,
@@ -58,8 +116,13 @@ def serialize_table(
     max_tokens: int | None = None,
     lowercase: bool = True,
 ) -> list[str]:
-    """Serialize every row of a table, preserving row order."""
-    return [
-        serialize_entity(entity, attributes, max_tokens=max_tokens, lowercase=lowercase)
-        for entity in table.entities()
-    ]
+    """Serialize every row of a table, preserving row order.
+
+    Column-wise: attribute columns are gathered once and joined row-wise,
+    skipping the per-row :class:`~repro.data.entity.Entity` dict walk.
+    """
+    if len(table) == 0:
+        return []
+    return serialize_columns(
+        resolve_columns(table, attributes), max_tokens=max_tokens, lowercase=lowercase
+    )

@@ -1,4 +1,14 @@
-"""Embedding substrate: Sentence-BERT substitutes and pooling utilities."""
+"""Embedding substrate: Sentence-BERT substitutes and pooling utilities.
+
+The default :class:`HashedNGramEncoder` runs on the columnar CSR token
+layout from :mod:`repro.text.tokenizer`: one flat token array plus per-text
+offsets per corpus. Tokens are de-duplicated corpus-wide, each unique
+token's vector/weight is built once, and pooling is a size-bucketed
+CSR-weighted segment sum — byte-identical to per-text encoding but one
+numpy pass per distinct text length. ``encode_token_ids`` exposes the
+pooling kernel over a caller-supplied vocabulary (Algorithm 1 feeds it
+integer splices of a shared column token index).
+"""
 
 from .base import SentenceEncoder, normalize_rows
 from .cache import CachingEncoder

@@ -34,6 +34,13 @@ class CachingEncoder(SentenceEncoder):
         self._cache.clear()
         return self
 
+    def fit_token_table(self, table) -> "CachingEncoder":
+        """:meth:`fit` from a pre-tokenized corpus (inner must support it)."""
+        self.inner.fit_token_table(table)
+        self.dimension = self.inner.dimension
+        self._cache.clear()
+        return self
+
     def encode(self, texts: Sequence[str]) -> np.ndarray:
         result = np.zeros((len(texts), self.dimension), dtype=np.float32)
         missing_positions: list[int] = []

@@ -20,6 +20,17 @@ achieves this with three ingredients:
    This mirrors the paper's Example 1: Sentence-BERT barely reacts when an
    ``id`` value is replaced, which is precisely what lets Algorithm 1 separate
    significant from insignificant attributes.
+
+Encoding runs on the columnar CSR token substrate: the corpus is batch
+tokenized into one flat token array plus per-text offsets
+(:func:`~repro.text.tokenizer.word_tokens_batch`), tokens are de-duplicated
+corpus-wide with one ``np.unique``, each *unique* token's vector and pooling
+weight are built once, and every text is pooled with size-bucketed
+CSR-weighted segment sums — one gather + multiply + axis-sum pass per
+distinct text length instead of a per-text Python loop. The bucketed axis
+sums reproduce the historical sequential accumulation bit for bit (the same
+summation-order property the flat merging engine relies on), so embeddings
+are byte-identical to the per-text implementation.
 """
 
 from __future__ import annotations
@@ -29,10 +40,15 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..text.hashing import signed_bucket
-from ..text.tokenizer import char_ngrams, truncate_tokens, word_tokens
+from ..text.hashing import signed_bucket, signed_bucket_batch
+from ..text.tokenizer import TokenTable, char_ngrams, word_tokens_batch
 from ..text.vocab import Vocabulary
 from .base import SentenceEncoder, normalize_rows
+
+#: Cap on elements of one pooled ``(texts, tokens, dim)`` block; bounds peak
+#: gather memory (32M float32 elements = 128 MB) without changing any values
+#: (blocking is per-text, every text still pools whole).
+_POOL_BLOCK_ELEMENTS = 32_000_000
 
 
 class HashedNGramEncoder(SentenceEncoder):
@@ -48,6 +64,11 @@ class HashedNGramEncoder(SentenceEncoder):
         numeric_weight_floor: minimum pooling weight multiplier for tokens
             made (mostly) of digits; 1.0 disables numeric down-weighting.
         seed: hashing seed; two encoders with the same seed agree exactly.
+
+    Attributes:
+        batch_encodes: number of batch (token-table) encode passes run —
+            the smoke tier asserts the fast path is exercised.
+        tokens_pooled: total token occurrences pooled by the batch path.
     """
 
     def __init__(
@@ -75,12 +96,18 @@ class HashedNGramEncoder(SentenceEncoder):
         self.seed = seed
         self._vocabulary: Vocabulary | None = None
         self._token_cache: dict[str, np.ndarray] = {}
+        self.batch_encodes = 0
+        self.tokens_pooled = 0
 
     # ------------------------------------------------------------------- fit
     def fit(self, texts: Sequence[str]) -> "HashedNGramEncoder":
         """Learn corpus IDF weights used for SIF-style pooling."""
+        return self.fit_token_table(word_tokens_batch(texts))
+
+    def fit_token_table(self, table: TokenTable) -> "HashedNGramEncoder":
+        """:meth:`fit` from a pre-tokenized corpus (identical IDF statistics)."""
         if self.use_idf:
-            self._vocabulary = Vocabulary.build(texts)
+            self._vocabulary = Vocabulary.from_token_table(table)
         return self
 
     # ----------------------------------------------------------- token level
@@ -121,21 +148,167 @@ class HashedNGramEncoder(SentenceEncoder):
             return multiplier
         return multiplier * self._vocabulary.idf(token)
 
+    def _build_token_vectors(self, tokens: list[str]) -> np.ndarray:
+        """Build (and cache) many tokens' vectors with batched FNV hashing.
+
+        One :func:`~repro.text.hashing.signed_bucket_batch` pass hashes every
+        char n-gram of every token; the per-token ±1 scatter is a single
+        ``np.bincount`` (float adds of ±1 are exact integers, so any
+        accumulation order reproduces the scalar loop bit for bit), followed
+        by the whole-token hash contribution and the scalar per-row
+        normalization of :meth:`_token_vector`.
+        """
+        gram_lists = [char_ngrams(token, *self.ngram_range) for token in tokens]
+        gram_counts = np.fromiter((len(grams) for grams in gram_lists), np.int64, len(tokens))
+        flat_grams = [gram for grams in gram_lists for gram in grams]
+        buckets, signs = signed_bucket_batch(flat_grams, self.dimension, self.seed)
+        token_rows = np.repeat(np.arange(len(tokens), dtype=np.int64), gram_counts)
+        accumulated = np.bincount(
+            token_rows * np.int64(self.dimension) + buckets,
+            weights=signs,
+            minlength=len(tokens) * self.dimension,
+        )
+        vectors = accumulated.reshape(len(tokens), self.dimension).astype(np.float32)
+        token_buckets, token_signs = signed_bucket_batch(tokens, self.dimension, self.seed + 7)
+        contributions = [
+            sign * self.token_weight * max(1, int(count)) ** 0.5
+            for sign, count in zip(token_signs.tolist(), gram_counts.tolist())
+        ]
+        vectors[np.arange(len(tokens)), token_buckets] += np.asarray(contributions)
+        for j, token in enumerate(tokens):
+            vector = vectors[j]
+            norm = float(np.linalg.norm(vector))
+            if norm > 0:
+                vector /= norm
+            self._token_cache[token] = vector
+        return vectors
+
+    def token_vectors_and_weights(self, tokens: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+        """Per-token vectors and pooling weights for a fixed token id-space.
+
+        Row ``j`` of the returned ``(len(tokens), dimension)`` matrix is
+        ``tokens[j]``'s (cached) unit vector; entry ``j`` of the weight array
+        is its pooling weight under the currently fitted IDF statistics.
+        Uncached tokens are built in one batched-FNV pass. Callers that
+        encode many token-id streams over one vocabulary (Algorithm 1's
+        per-attribute shuffles) build these arrays once and feed them to
+        :meth:`encode_token_ids`.
+        """
+        vectors = np.empty((len(tokens), self.dimension), dtype=np.float32)
+        missing: list[str] = []
+        missing_rows: list[int] = []
+        for j, token in enumerate(tokens):
+            cached = self._token_cache.get(token)
+            if cached is not None:
+                vectors[j] = cached
+            else:
+                missing.append(token)
+                missing_rows.append(j)
+        if missing:
+            vectors[np.asarray(missing_rows, dtype=np.int64)] = self._build_token_vectors(missing)
+        weights = np.array([self._token_weight_for(token) for token in tokens], dtype=np.float32)
+        return vectors, weights
+
     # --------------------------------------------------------------- encoding
     def encode(self, texts: Sequence[str]) -> np.ndarray:
         """Encode texts into unit-norm vectors via weighted mean pooling."""
-        matrix = np.zeros((len(texts), self.dimension), dtype=np.float32)
-        for row, text in enumerate(texts):
-            tokens = truncate_tokens(word_tokens(text), self.max_tokens)
-            if not tokens:
-                continue
-            weights = np.array([self._token_weight_for(t) for t in tokens], dtype=np.float32)
-            total = float(weights.sum())
-            if total <= 0:
-                weights = np.ones(len(tokens), dtype=np.float32)
-                total = float(len(tokens))
-            pooled = np.zeros(self.dimension, dtype=np.float32)
-            for token, weight in zip(tokens, weights):
-                pooled += weight * self._token_vector(token)
-            matrix[row] = pooled / total
+        return self.encode_token_table(word_tokens_batch(texts))
+
+    def encode_token_table(self, table: TokenTable) -> np.ndarray:
+        """Encode a pre-tokenized corpus (flat CSR token table).
+
+        De-duplicates tokens corpus-wide, builds each unique token's vector
+        and weight once, then pools every text with the bucketed CSR segment
+        sum. Byte-identical to encoding the originating texts.
+        """
+        if table.tokens.size == 0:
+            self.batch_encodes += 1
+            return normalize_rows(np.zeros((len(table), self.dimension), dtype=np.float32))
+        unique, inverse = np.unique(table.tokens, return_inverse=True)
+        vectors, weights = self.token_vectors_and_weights(unique.tolist())
+        return self.encode_token_ids(
+            np.asarray(inverse, dtype=np.int64), table.counts, vectors, weights
+        )
+
+    def encode_token_ids(
+        self,
+        token_ids: np.ndarray,
+        counts: np.ndarray,
+        vectors: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Encode texts given as CSR token-id streams over a fixed vocabulary.
+
+        Args:
+            token_ids: flat int64 token ids (rows into ``vectors``), all
+                texts concatenated in order; **untruncated** — the encoder
+                applies its own ``max_tokens`` cap here.
+            counts: per-text token counts (CSR row lengths).
+            vectors: ``(vocab, dimension)`` float32 token vector matrix.
+            weights: per-vocab-entry float32 pooling weights.
+
+        Returns:
+            ``(len(counts), dimension)`` unit-norm float32 matrix,
+            byte-identical to the per-text reference pooling.
+        """
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        kept_counts = np.minimum(counts, self.max_tokens)
+        if token_ids.size and (counts > self.max_tokens).any():
+            offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            positions = np.arange(token_ids.size, dtype=np.int64) - np.repeat(
+                offsets[:-1], counts
+            )
+            token_ids = token_ids[positions < self.max_tokens]
+        self.batch_encodes += 1
+        self.tokens_pooled += int(token_ids.size)
+        matrix = self._pool_token_ids(token_ids, kept_counts, vectors, weights)
         return normalize_rows(matrix)
+
+    def _pool_token_ids(
+        self,
+        token_ids: np.ndarray,
+        counts: np.ndarray,
+        vectors: np.ndarray,
+        weights: np.ndarray,
+    ) -> np.ndarray:
+        """Weighted-mean pooling of CSR token-id streams, size-bucketed.
+
+        Texts are grouped by token count ``s``; each bucket gathers its ids
+        into a ``(t, s)`` block and pools with one ``(t, s, d)`` weighted
+        axis-1 sum. Axis-1 sums over the non-contiguous middle axis
+        accumulate sequentially, reproducing the historical per-token
+        ``pooled += weight * vector`` loop bit for bit; per-text weight
+        totals likewise match the 1-d pairwise ``weights.sum()``. Buckets are
+        further split so no block exceeds ``_POOL_BLOCK_ELEMENTS`` elements
+        (value-neutral: blocking is per-text).
+        """
+        matrix = np.zeros((len(counts), self.dimension), dtype=np.float32)
+        if token_ids.size == 0 or len(counts) == 0:
+            return matrix
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        occurrence_weights = weights[token_ids]
+        for size in np.unique(counts):
+            size = int(size)
+            if size == 0:
+                continue
+            bucket_rows = np.flatnonzero(counts == size)
+            block = max(1, _POOL_BLOCK_ELEMENTS // (size * self.dimension))
+            for start in range(0, len(bucket_rows), block):
+                rows = bucket_rows[start : start + block]
+                gather = offsets[rows][:, None] + np.arange(size, dtype=np.int64)
+                ids = token_ids[gather]
+                block_weights = occurrence_weights[gather]
+                weighted = vectors[ids]  # fresh (t, s, d) gather, safe to scale in place
+                weighted *= block_weights[:, :, None]
+                pooled = weighted.sum(axis=1)
+                totals = block_weights.sum(axis=1)
+                degenerate = totals <= 0
+                if degenerate.any():
+                    # Historical fallback: all-zero weights pool uniformly.
+                    pooled[degenerate] = vectors[ids[degenerate]].sum(axis=1)
+                    totals[degenerate] = np.float32(size)
+                matrix[rows] = pooled / totals[:, None]
+        return matrix

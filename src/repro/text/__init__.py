@@ -1,13 +1,31 @@
-"""Text substrate: normalization, tokenizers, vocabulary, TF-IDF, hashing."""
+"""Text substrate: normalization, tokenizers, vocabulary, TF-IDF, hashing.
+
+Corpus-level batch entry points (:func:`normalize_batch`,
+:func:`word_tokens_batch`) tokenize whole lists into a flat CSR
+:class:`TokenTable` (one token array + per-text offsets); the hashed encoder
+and Algorithm 1 run off that columnar layout.
+"""
 
 from .hashing import bucket, fnv1a_64, signed_bucket
 from .tfidf import TfidfVectorizer, cosine_similarity_sparse
-from .tokenizer import char_ngrams, normalize, text_ngrams, truncate_tokens, word_tokens
+from .tokenizer import (
+    TokenTable,
+    char_ngrams,
+    normalize,
+    normalize_batch,
+    text_ngrams,
+    truncate_tokens,
+    word_tokens,
+    word_tokens_batch,
+)
 from .vocab import Vocabulary
 
 __all__ = [
     "normalize",
+    "normalize_batch",
     "word_tokens",
+    "word_tokens_batch",
+    "TokenTable",
     "char_ngrams",
     "text_ngrams",
     "truncate_tokens",

@@ -3,9 +3,18 @@
 Python's builtin ``hash`` is salted per process, so the embedding substrate
 uses FNV-1a instead: the same token always maps to the same bucket and the
 same sign, which makes embeddings reproducible across runs and processes.
+
+:func:`fnv1a_64_batch` / :func:`signed_bucket_batch` hash whole string
+batches with one masked uint64 pass per byte position (wrapping multiplies
+match the scalar ``& _MASK64`` arithmetic exactly), so the encoder can hash
+every char n-gram of a vocabulary without a Python loop per gram.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -33,3 +42,41 @@ def signed_bucket(text: str, num_buckets: int, seed: int = 0) -> tuple[int, floa
     value = fnv1a_64(text, seed)
     sign = 1.0 if (value >> 63) & 1 else -1.0
     return value % num_buckets, sign
+
+
+def fnv1a_64_batch(texts: Sequence[str], seed: int = 0) -> np.ndarray:
+    """:func:`fnv1a_64` over a batch, as a uint64 array.
+
+    The strings' UTF-8 bytes are right-padded into one ``(n, max_len)``
+    matrix and the FNV-1a recurrence runs column-wise with a still-active
+    mask; uint64 multiplication wraps modulo 2^64 exactly like the scalar
+    ``& _MASK64``, so every hash is bit-identical to the scalar function.
+    """
+    initial = (_FNV_OFFSET ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
+    values = np.full(len(texts), np.uint64(initial), dtype=np.uint64)
+    if not len(texts):
+        return values
+    encoded = [text.encode("utf-8") for text in texts]
+    lengths = np.fromiter((len(raw) for raw in encoded), np.int64, len(encoded))
+    max_len = int(lengths.max())
+    if max_len == 0:
+        return values
+    padded = b"".join(raw.ljust(max_len, b"\x00") for raw in encoded)
+    matrix = np.frombuffer(padded, dtype=np.uint8).reshape(len(texts), max_len)
+    prime = np.uint64(_FNV_PRIME)
+    for position in range(max_len):
+        active = lengths > position
+        values[active] = (values[active] ^ matrix[active, position].astype(np.uint64)) * prime
+    return values
+
+
+def signed_bucket_batch(
+    texts: Sequence[str], num_buckets: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`signed_bucket` over a batch: int64 buckets + float64 ±1 signs."""
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    values = fnv1a_64_batch(texts, seed)
+    signs = np.where((values >> np.uint64(63)) & np.uint64(1), 1.0, -1.0)
+    buckets = (values % np.uint64(num_buckets)).astype(np.int64)
+    return buckets, signs

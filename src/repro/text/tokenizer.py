@@ -7,15 +7,38 @@ Two tokenizers are provided:
   the hashed n-gram encoder. Character n-grams are what make the embedding
   robust to the typos and abbreviations the corruption model (and real data)
   introduce.
+
+Corpus-level batch APIs back the columnar text substrate:
+
+* :func:`normalize_batch` — :func:`normalize` over a whole list with an
+  ASCII fast path that skips the per-character Unicode machinery.
+* :func:`word_tokens_batch` — tokenizes a whole corpus into a
+  :class:`TokenTable`, a flat CSR token table: one flat token array plus
+  per-text offsets (``tokens[offsets[i]:offsets[i + 1]]`` are text ``i``'s
+  tokens, in order). The corpus is joined and normalized in one pass and the
+  regex scan runs offset-windowed over that single flat string, so no
+  per-text intermediate strings are materialized on the ASCII path.
+
+Both batch APIs produce byte-identical tokens to their per-string
+counterparts (property-tested), which the hashed encoder and Algorithm 1
+rely on for end-to-end byte identity.
 """
 
 from __future__ import annotations
 
 import re
 import unicodedata
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
 
 _TOKEN_PATTERN = re.compile(r"[a-z0-9]+(?:\.[0-9]+)?")
+
+#: Joins texts during batch processing. Any non-token character works here:
+#: tokens cannot span it, and per-text spans are recovered from offsets (not
+#: by splitting), so texts that themselves contain newlines stay correct.
+_BATCH_SEPARATOR = "\n"
 
 
 def normalize(text: str) -> str:
@@ -28,6 +51,117 @@ def normalize(text: str) -> str:
 def word_tokens(text: str) -> list[str]:
     """Split normalized text into alphanumeric word tokens."""
     return _TOKEN_PATTERN.findall(normalize(text))
+
+
+@dataclass
+class TokenTable:
+    """Flat CSR token table over a corpus of texts.
+
+    Attributes:
+        tokens: flat 1-d object array of token strings, all texts
+            concatenated in text order.
+        offsets: ``(num_texts + 1,)`` int64 array; text ``i`` owns
+            ``tokens[offsets[i]:offsets[i + 1]]``.
+    """
+
+    tokens: np.ndarray
+    offsets: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-text token counts (int64)."""
+        return np.diff(self.offsets)
+
+    def row(self, i: int) -> list[str]:
+        """Tokens of text ``i`` as a plain list."""
+        return self.tokens[self.offsets[i] : self.offsets[i + 1]].tolist()
+
+    @classmethod
+    def concat(cls, tables: Sequence["TokenTable"]) -> "TokenTable":
+        """Concatenate tables corpus-wise (texts keep their per-table order)."""
+        if not tables:
+            return cls(tokens=np.empty(0, dtype=object), offsets=np.zeros(1, dtype=np.int64))
+        tokens = np.concatenate([table.tokens for table in tables])
+        parts = [np.zeros(1, dtype=np.int64)]
+        base = np.int64(0)
+        for table in tables:
+            parts.append(table.offsets[1:] + base)
+            base += table.offsets[-1]
+        return cls(tokens=tokens, offsets=np.concatenate(parts))
+
+    @classmethod
+    def from_lists(cls, token_lists: Sequence[Sequence[str]]) -> "TokenTable":
+        """Build a table from per-text token lists."""
+        offsets = np.zeros(len(token_lists) + 1, dtype=np.int64)
+        np.cumsum([len(row) for row in token_lists], out=offsets[1:])
+        flat: list[str] = []
+        for row in token_lists:
+            flat.extend(row)
+        tokens = np.empty(len(flat), dtype=object)
+        if flat:
+            tokens[:] = flat
+        return cls(tokens=tokens, offsets=offsets)
+
+
+def _batch_corpus(texts: Sequence[str]) -> tuple[str, list[int]]:
+    """Join + normalize a corpus in one pass; returns ``(corpus, lengths)``.
+
+    ``corpus`` is the separator-joined, tokenizer-normalized flat string and
+    ``lengths`` the per-text span lengths inside it. On the (overwhelmingly
+    common) ASCII path NFKD and combining-mark removal are identities, so one
+    ``str.lower`` over the flat string replaces all per-character work; the
+    Unicode fallback normalizes per text to keep spans aligned. Whitespace is
+    *not* collapsed — the token pattern never matches whitespace, so token
+    output is unaffected (and byte-identical to :func:`word_tokens`).
+    """
+    joined = _BATCH_SEPARATOR.join(texts)
+    if joined.isascii():
+        return joined.lower(), [len(text) for text in texts]
+    parts: list[str] = []
+    for text in texts:
+        nfkd = unicodedata.normalize("NFKD", text)
+        stripped = "".join(c for c in nfkd if not unicodedata.combining(c))
+        parts.append(stripped.lower())
+    return _BATCH_SEPARATOR.join(parts), [len(part) for part in parts]
+
+
+def normalize_batch(texts: Sequence[str]) -> list[str]:
+    """:func:`normalize` over a whole corpus (ASCII fast path)."""
+    if not texts:
+        return []
+    if _BATCH_SEPARATOR.join(texts).isascii():
+        return [" ".join(text.lower().split()) for text in texts]
+    return [normalize(text) for text in texts]
+
+
+def word_tokens_batch(texts: Sequence[str]) -> TokenTable:
+    """:func:`word_tokens` over a whole corpus as a flat CSR :class:`TokenTable`.
+
+    One normalization pass over the joined corpus, then one offset-windowed
+    regex scan per text via ``Pattern.findall(corpus, start, end)`` — no
+    per-text normalized strings are created on the ASCII path. Token output
+    is byte-identical to ``[word_tokens(t) for t in texts]``.
+    """
+    num_texts = len(texts)
+    offsets = np.zeros(num_texts + 1, dtype=np.int64)
+    if num_texts == 0:
+        return TokenTable(tokens=np.empty(0, dtype=object), offsets=offsets)
+    corpus, lengths = _batch_corpus(texts)
+    findall = _TOKEN_PATTERN.findall
+    flat: list[str] = []
+    start = 0
+    for i, length in enumerate(lengths):
+        row = findall(corpus, start, start + length)
+        offsets[i + 1] = offsets[i] + len(row)
+        flat.extend(row)
+        start += length + 1  # skip the separator
+    tokens = np.empty(len(flat), dtype=object)
+    if flat:
+        tokens[:] = flat
+    return TokenTable(tokens=tokens, offsets=offsets)
 
 
 def char_ngrams(token: str, n_min: int = 3, n_max: int = 5, *, boundary: bool = True) -> list[str]:

@@ -8,7 +8,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .tokenizer import word_tokens
+from .tokenizer import TokenTable, word_tokens
 
 
 @dataclass
@@ -36,6 +36,33 @@ class Vocabulary:
         return cls(
             token_to_index={token: i for i, token in enumerate(kept)},
             document_frequency=Counter({token: df[token] for token in kept}),
+            num_documents=num_documents,
+        )
+
+    @classmethod
+    def from_token_table(cls, table: TokenTable, min_df: int = 1) -> "Vocabulary":
+        """Build a vocabulary from a pre-tokenized corpus (CSR token table).
+
+        Identical to :meth:`build` over the originating texts: document
+        frequencies count distinct texts per token (de-duplicated through one
+        ``np.unique`` over (text, token) pairs instead of a per-text set),
+        and the kept tokens stay in sorted order.
+        """
+        num_documents = len(table)
+        if table.tokens.size == 0:
+            return cls(num_documents=num_documents)
+        unique_tokens, token_ids = np.unique(table.tokens, return_inverse=True)
+        text_ids = np.repeat(np.arange(num_documents, dtype=np.int64), table.counts)
+        # One (text, token) pair per distinct occurrence; df = pairs per token.
+        pair_keys = np.unique(text_ids * np.int64(len(unique_tokens)) + token_ids)
+        df_counts = np.bincount(pair_keys % np.int64(len(unique_tokens)), minlength=len(unique_tokens))
+        kept = np.flatnonzero(df_counts >= min_df)
+        kept_tokens = [str(unique_tokens[i]) for i in kept]
+        return cls(
+            token_to_index={token: i for i, token in enumerate(kept_tokens)},
+            document_frequency=Counter(
+                {token: int(df_counts[i]) for token, i in zip(kept_tokens, kept)}
+            ),
             num_documents=num_documents,
         )
 

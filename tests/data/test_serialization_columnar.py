@@ -1,0 +1,63 @@
+"""Columnar serialization must be byte-identical to the per-entity walk."""
+
+import numpy as np
+import pytest
+
+from repro.data.serialization import (
+    serialize_columns,
+    serialize_entity,
+    serialize_table,
+)
+from repro.data.table import Table
+
+
+@pytest.fixture()
+def messy_table() -> Table:
+    return Table(
+        "t",
+        ("a", "b", "c"),
+        [
+            ("Apple iPhone", "  8 GB ", ""),
+            ("", "", ""),
+            ("x\ty", "Z ", " q  w"),
+            ("Σ ΑΣ", "é", ""),
+            ("   ", "only-b", "\n"),
+            ("many " * 30, "tail", "end"),
+        ],
+    )
+
+
+@pytest.mark.parametrize("attributes", [None, ("b", "a"), ("a", "missing"), ("c",), ("missing",)])
+@pytest.mark.parametrize("max_tokens", [None, 1, 3, 64])
+@pytest.mark.parametrize("lowercase", [True, False])
+def test_serialize_table_matches_per_entity(messy_table, attributes, max_tokens, lowercase):
+    got = serialize_table(messy_table, attributes, max_tokens=max_tokens, lowercase=lowercase)
+    want = [
+        serialize_entity(entity, attributes, max_tokens=max_tokens, lowercase=lowercase)
+        for entity in messy_table.entities()
+    ]
+    assert got == want
+
+
+def test_serialize_table_random_values_match():
+    rng = np.random.default_rng(0)
+    pieces = ["Apple", " iphone ", "", "  ", "8-Plus", "64gb\t", "Déjà", "1 2 3"]
+    rows = [
+        tuple(str(rng.choice(pieces)) for _ in range(4))
+        for _ in range(100)
+    ]
+    table = Table("r", ("w", "x", "y", "z"), rows)
+    got = serialize_table(table, max_tokens=4)
+    want = [serialize_entity(entity, max_tokens=4) for entity in table.entities()]
+    assert got == want
+
+
+def test_serialize_columns_matches_table_path(messy_table):
+    columns = [messy_table.column(a) for a in messy_table.schema]
+    assert serialize_columns(columns, max_tokens=2) == serialize_table(messy_table, max_tokens=2)
+
+
+def test_serialize_empty_inputs():
+    table = Table("empty", ("a",))
+    assert serialize_table(table) == []
+    assert serialize_columns([]) == []
