@@ -16,19 +16,37 @@ tracked as ``selection_plus_representation``), landing at ~6.9 s end to end.
 Predicted tuples stay byte-identical throughout (pinned by
 ``tests/core/test_pipeline_regression.py``).
 
+Besides the per-module pipeline record, this file tracks the unified query
+engine's workloads: the LSH-backed 10k mutual merge (native kernel vs the
+``REPRO_NATIVE=0`` numpy path, digests asserted identical), the
+persistent-vs-fresh process-pool merge+prune comparison, and the
+LSH / HNSW / brute-force backend timing matrix — all appended to
+``BENCH_pipeline.json``.
+
 Run at scale:    REPRO_BENCH_PROFILE=bench python -m pytest benchmarks/bench_pipeline.py -q -s
 Smoke (tier-1):  python -m pytest benchmarks -q -m smoke
 """
 
+import hashlib
 import json
 import os
+import subprocess
+import sys
 import time
 
-from repro.config import paper_default_config
+import numpy as np
+
+from repro.config import MergingConfig, ParallelConfig, PruningConfig, paper_default_config
 from repro.core import MultiEM
+from repro.core.merging import ItemTable, hierarchical_merge_tables
+from repro.core.parallel import ParallelExecutor
+from repro.core.pruning import prune_items
+from repro.core.representation import EmbeddingStore, TableEmbeddings
+from repro.data.entity import EntityRef
 from repro.data.generators import load_benchmark
 
 BENCH_JSON_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_pipeline.json")
+_SRC_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 
 
 def run_pipeline_bench(
@@ -64,6 +82,173 @@ def run_pipeline_bench(
             stages["attribute_selection"] + stages["representation"], 4
         ),
         "wall_total": round(best_total, 4),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def _pair_digest(pairs) -> str:
+    """Order-independent digest of a mutual-pair set."""
+    blob = ",".join(f"{p.left}:{p.right}" for p in sorted(pairs, key=lambda p: (p.left, p.right)))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+_LSH_MERGE_SNIPPET = """\
+import json, sys, time
+import numpy as np
+sys.path.insert(0, {src!r})
+from repro.ann import mutual_top_k
+rng = np.random.default_rng(42)
+left = rng.normal(size=({rows}, 64)).astype(np.float32)
+right = left[rng.permutation({rows})] + rng.normal(scale=0.01, size=({rows}, 64)).astype(np.float32)
+best = None
+for _ in range({repeats}):
+    t0 = time.perf_counter()
+    pairs = mutual_top_k(left, right, k=1, max_distance=0.3, backend="lsh", index_kwargs={{"seed": 0}})
+    el = time.perf_counter() - t0
+    best = el if best is None or el < best else best
+import hashlib
+blob = ",".join(f"{{p.left}}:{{p.right}}" for p in sorted(pairs, key=lambda p: (p.left, p.right)))
+print(json.dumps({{"seconds": best, "pairs": len(pairs), "digest": hashlib.sha256(blob.encode()).hexdigest()[:16]}}))
+"""
+
+
+#: Best of 3 for the identical 10k x 10k workload (seed 42) on the PR-3 code
+#: — per-row Python re-rank plus numpy's hash-path ``np.unique`` dedup —
+#: measured on the bench box when the unified engine landed. Kept as the
+#: speedup denominator in the JSON trail; pair digest a6aa0e21d3e01592 is
+#: unchanged across the refactor.
+_LSH_MERGE_10K_PRE_ENGINE_SECONDS = 5.375
+
+
+def run_lsh_merge_bench(rows: int = 10_000, repeats: int = 3) -> dict:
+    """LSH-backed mutual merge over two ``rows``-row twin clouds, best of N.
+
+    Times the in-process path (native kernel when available) and a
+    ``REPRO_NATIVE=0`` subprocess leg (the pure-numpy engine fallback), and
+    asserts their mutual-pair digests are identical — the byte-identity
+    contract of the shared query engine.
+    """
+    from repro.ann import mutual_top_k
+    from repro.ann import native as native_mod
+
+    rng = np.random.default_rng(42)
+    left = rng.normal(size=(rows, 64)).astype(np.float32)
+    right = left[rng.permutation(rows)] + rng.normal(scale=0.01, size=(rows, 64)).astype(np.float32)
+    best = None
+    pairs = None
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        pairs = mutual_top_k(left, right, k=1, max_distance=0.3, backend="lsh", index_kwargs={"seed": 0})
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None or elapsed < best else best
+    snippet = _LSH_MERGE_SNIPPET.format(src=_SRC_PATH, rows=rows, repeats=max(repeats, 1))
+    env = {**os.environ, "REPRO_NATIVE": "0"}
+    completed = subprocess.run(
+        [sys.executable, "-c", snippet], capture_output=True, text=True, env=env, check=True
+    )
+    fallback = json.loads(completed.stdout.strip().splitlines()[-1])
+    digest = _pair_digest(pairs)
+    assert fallback["digest"] == digest, "REPRO_NATIVE=0 pair set diverged from the native path"
+    assert fallback["pairs"] == len(pairs)
+    record = {
+        "dataset": f"lsh-merge-{rows}x2",
+        "profile": "tiny" if rows < 10_000 else "bench",
+        "backend": "lsh",
+        "kind": "lsh_mutual_merge",
+        "rows": 2 * rows,
+        "repeats": max(repeats, 1),
+        "mutual_pairs": len(pairs),
+        "pair_digest": digest,
+        "native_enabled": native_mod.get_kernel() is not None,
+        "seconds": round(best, 4),
+        "seconds_python_fallback": round(fallback["seconds"], 4),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+    if rows == 10_000:
+        record["seconds_pre_engine_reference"] = _LSH_MERGE_10K_PRE_ENGINE_SECONDS
+        record["speedup_vs_pre_engine"] = round(_LSH_MERGE_10K_PRE_ENGINE_SECONDS / best, 2)
+    return record
+
+
+def _pool_bench_tables(num_tables: int, rows: int) -> tuple[list, EmbeddingStore]:
+    base = np.random.default_rng(0).normal(size=(rows, 64)).astype(np.float32)
+    tables = []
+    store = EmbeddingStore()
+    for seed in range(num_tables):
+        rng = np.random.default_rng(seed + 1)
+        vectors = (base + rng.normal(scale=0.008, size=(rows, 64))).astype(np.float32)
+        name = f"s{seed}"
+        tables.append(
+            ItemTable(
+                vectors,
+                np.zeros(rows, dtype=np.int32),
+                np.arange(rows, dtype=np.int64),
+                np.arange(rows + 1, dtype=np.int64),
+                (name,),
+            )
+        )
+        store.add_table(
+            TableEmbeddings(name, [EntityRef(name, i) for i in range(rows)], vectors)
+        )
+    return tables, store
+
+
+def run_process_pool_bench(num_tables: int = 8, rows: int = 1200, repeats: int = 3) -> dict:
+    """Process-backend merge+prune: persistent pool vs fresh pool per call.
+
+    ``reuse_pool=False`` restores the historical spin-up-per-``map``
+    behaviour; the persistent pool keeps workers (and their warmed kernels
+    and index caches) alive across every hierarchy level and the pruning
+    fan-out. Outputs are asserted identical to the serial run either way.
+    """
+    tables, store = _pool_bench_tables(num_tables, rows)
+    merging = MergingConfig(index="hnsw", m=0.5)
+    pruning = PruningConfig(epsilon=1.0)
+
+    def run(reuse_pool: bool):
+        executor = ParallelExecutor(
+            ParallelConfig(enabled=True, backend="process", max_workers=2, reuse_pool=reuse_pool)
+        )
+        try:
+            best = None
+            outputs = None
+            for _ in range(max(repeats, 1)):
+                started = time.perf_counter()
+                merged, _ = hierarchical_merge_tables(
+                    [table for table in tables], merging, executor=executor
+                )
+                pruned = prune_items(
+                    merged.filter(merged.sizes >= 2).to_items(), store, pruning,
+                    executor=executor,
+                )
+                elapsed = time.perf_counter() - started
+                if best is None or elapsed < best:
+                    best, outputs = elapsed, (merged, pruned)
+            return best, outputs
+        finally:
+            executor.close()
+
+    fresh_seconds, fresh_outputs = run(False)
+    reuse_seconds, reuse_outputs = run(True)
+    serial_merged, _ = hierarchical_merge_tables([table for table in tables], merging)
+    serial_pruned = prune_items(
+        serial_merged.filter(serial_merged.sizes >= 2).to_items(), store, pruning
+    )
+    for merged, pruned in (fresh_outputs, reuse_outputs):
+        assert np.array_equal(merged.vectors, serial_merged.vectors)
+        assert np.array_equal(merged.member_offsets, serial_merged.member_offsets)
+        assert [item.members for item in pruned] == [item.members for item in serial_pruned]
+    return {
+        "dataset": f"process-pool-{num_tables}x{rows}",
+        "profile": "tiny" if rows < 1000 else "bench",
+        "backend": "process",
+        "kind": "process_pool_merge_prune",
+        "rows": num_tables * rows,
+        "repeats": max(repeats, 1),
+        "pruned_tuples": len(serial_pruned),
+        "seconds_fresh_pool": round(fresh_seconds, 4),
+        "seconds_persistent_pool": round(reuse_seconds, 4),
+        "pool_reuse_speedup": round(fresh_seconds / max(reuse_seconds, 1e-9), 2),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
@@ -122,3 +307,42 @@ def test_bench_pipeline_module_times(bench_profile):
     print("\n  " + _format_record(record))
     assert record["num_tuples"] > 0
     assert all(value >= 0 for value in record["stages"].values())
+
+
+def test_bench_backend_matrix(bench_profile):
+    """LSH vs HNSW vs brute-force pipeline timings (the design ablation)."""
+    repeats = 3 if bench_profile != "tiny" else 1
+    for backend in ("brute-force", "hnsw", "lsh"):
+        record = run_pipeline_bench("music-200", bench_profile, backend=backend, repeats=repeats)
+        write_bench_record(record)
+        print("\n  " + _format_record(record))
+        assert record["num_tuples"] > 0
+
+
+def test_bench_lsh_mutual_merge(bench_profile):
+    """LSH-backed mutual merge at scale; native and numpy digests must agree."""
+    rows = 2000 if bench_profile == "tiny" else 10_000
+    record = run_lsh_merge_bench(rows=rows, repeats=3 if bench_profile != "tiny" else 1)
+    write_bench_record(record)
+    print(
+        f"\n  lsh merge 2x{rows}: {record['seconds']:.2f}s native-mode, "
+        f"{record['seconds_python_fallback']:.2f}s REPRO_NATIVE=0, "
+        f"{record['mutual_pairs']} pairs (digest {record['pair_digest']})"
+    )
+    assert record["mutual_pairs"] > 0
+
+
+def test_bench_process_pool_reuse(bench_profile):
+    """Persistent process pool vs the historical fresh-pool-per-call mode."""
+    rows = 400 if bench_profile == "tiny" else 1200
+    tables = 6 if bench_profile == "tiny" else 8
+    record = run_process_pool_bench(
+        num_tables=tables, rows=rows, repeats=3 if bench_profile != "tiny" else 1
+    )
+    write_bench_record(record)
+    print(
+        f"\n  process merge+prune over {tables}x{rows} rows: "
+        f"fresh pools {record['seconds_fresh_pool']:.2f}s vs persistent "
+        f"{record['seconds_persistent_pool']:.2f}s ({record['pool_reuse_speedup']:.2f}x)"
+    )
+    assert record["seconds_persistent_pool"] > 0

@@ -8,6 +8,10 @@ someone reruns the full benchmarks. Select them alone with
 ``python -m pytest benchmarks -q -m smoke``.
 """
 
+import os
+import shutil
+import subprocess
+import sys
 import time
 
 import numpy as np
@@ -115,6 +119,89 @@ def test_smoke_encoder_batch_fast_path_is_exercised():
         f"expected >= {expected_passes} batch passes, saw {encoder.batch_encodes}"
     )
     assert elapsed < MERGE_CEILING_SECONDS, f"tiny pipeline took {elapsed:.1f}s"
+
+
+_REQUIRE_SNIPPET = """\
+import numpy as np
+from repro.ann import HNSWIndex, LSHIndex, mutual_top_k
+from repro.ann import native
+
+assert native.get_kernel() is not None  # require-mode would have raised already
+rng = np.random.default_rng(0)
+vectors = rng.normal(size=(300, 32)).astype(np.float32)
+queries = vectors[:40] + rng.normal(scale=0.01, size=(40, 32)).astype(np.float32)
+hnsw_idx, _ = HNSWIndex(seed=0).build(vectors).query(queries, 3)
+lsh_idx, _ = LSHIndex(seed=0).build(vectors).query(queries, 3)
+assert (hnsw_idx[:, 0] >= 0).all() and (lsh_idx >= 0).any()
+pairs = mutual_top_k(vectors[:150], vectors[150:], k=1, max_distance=0.5, backend="lsh")
+print("REQUIRE-OK", len(pairs))
+"""
+
+
+@pytest.mark.smoke
+def test_smoke_native_require_leg():
+    """``REPRO_NATIVE=require`` end-to-end: the kernel must engage for both backends.
+
+    Runs a subprocess so the strict mode is exercised from a cold import:
+    any compile, BLAS-resolution, or byte-identity regression fails loudly
+    there instead of silently costing the native speedup. Skips — with the
+    concrete reason — only for genuine environment limitations (no C
+    compiler, no resolvable wheel-bundled ILP64 OpenBLAS, or an explicit
+    ``REPRO_NATIVE`` opt-out in the outer environment).
+    """
+    if os.environ.get("REPRO_NATIVE", "").lower() in ("0", "off", "false"):
+        pytest.skip("native kernel explicitly disabled via REPRO_NATIVE")
+    if shutil.which(os.environ.get("CC", "gcc")) is None:
+        pytest.skip("REPRO_NATIVE=require needs a C compiler; none on this machine")
+    from repro.ann import native
+
+    if native.get_kernel() is None:
+        pytest.skip(f"environment limitation: {native.disabled_reason}")
+    src_root = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = {**os.environ, "REPRO_NATIVE": "require"}
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, "-c", _REQUIRE_SNIPPET], capture_output=True, text=True, env=env
+    )
+    assert completed.returncode == 0, (
+        f"REPRO_NATIVE=require leg failed:\n{completed.stderr[-2000:]}"
+    )
+    assert "REQUIRE-OK" in completed.stdout
+
+
+@pytest.mark.smoke
+def test_smoke_process_pool_backend_roundtrip():
+    """The process backend must work end to end (it used to crash on pickling).
+
+    A tiny two-level merge through a persistent process pool, checked
+    bit-identical against the serial run.
+    """
+    from repro.config import MergingConfig, ParallelConfig
+    from repro.core.merging import ItemTable, hierarchical_merge_tables
+    from repro.core.parallel import ParallelExecutor
+
+    tables = []
+    for seed in range(4):
+        rng = np.random.default_rng(seed)
+        vectors = rng.normal(size=(60, 16)).astype(np.float32)
+        tables.append(
+            ItemTable(
+                vectors,
+                np.zeros(60, dtype=np.int32),
+                np.arange(60, dtype=np.int64),
+                np.arange(61, dtype=np.int64),
+                (f"s{seed}",),
+            )
+        )
+    config = MergingConfig(index="brute-force", m=0.8)
+    serial, _ = hierarchical_merge_tables([t for t in tables], config)
+    started = time.perf_counter()
+    with ParallelExecutor(ParallelConfig(enabled=True, backend="process", max_workers=2)) as ex:
+        merged, _ = hierarchical_merge_tables([t for t in tables], config, executor=ex)
+    elapsed = time.perf_counter() - started
+    assert np.array_equal(merged.vectors, serial.vectors)
+    assert np.array_equal(merged.member_offsets, serial.member_offsets)
+    assert elapsed < MERGE_CEILING_SECONDS, f"process-pool merge took {elapsed:.1f}s"
 
 
 @pytest.mark.smoke

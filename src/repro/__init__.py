@@ -16,15 +16,25 @@ The merging stage's mutual top-K searches run on a pluggable ANN layer
 (:mod:`repro.ann`). ``MergingConfig.index`` selects the backend: ``"auto"``
 (exact brute force up to ``brute_force_limit`` rows, HNSW beyond),
 ``"brute-force"``, ``"hnsw"`` (knobs: ``hnsw_max_degree``,
-``hnsw_ef_construction``, ``hnsw_ef_search``) or ``"lsh"``. With
-``MergingConfig.index_cache`` enabled (default, capacity
-``index_cache_entries``), indexes built during hierarchical merging are
-reused across levels — and across :meth:`IncrementalMultiEM.add_table`
-calls — whenever reuse is byte-identical to rebuilding (exact content match
-or incremental extension of a prefix), so cached runs return exactly the
-same tuples. ``python -m pytest benchmarks -q -m smoke`` exercises this
-layer at tiny scale; ``benchmarks/bench_substrates.py`` measures it at 10k
-rows.
+``hnsw_ef_construction``, ``hnsw_ef_search``) or ``"lsh"`` (knobs:
+``lsh_num_tables``, ``lsh_num_bits``, ``lsh_probe_neighbors``). All
+backends share one candidate-generation → exact-re-rank query engine
+(:mod:`repro.ann.engine`); with a C toolchain present its hot loops — the
+HNSW traversals *and* the LSH probe re-rank — run through a runtime-compiled
+native kernel that is byte-identical to the numpy paths (``REPRO_NATIVE=0``
+forces the fallback for both backends, ``REPRO_NATIVE=require`` hard-fails
+when the kernel cannot load). With ``MergingConfig.index_cache`` enabled
+(default, capacity ``index_cache_entries``), indexes built during
+hierarchical merging are reused across levels — and across
+:meth:`IncrementalMultiEM.add_table` calls — whenever reuse is
+byte-identical to rebuilding (exact content match or incremental extension
+of a prefix), so cached runs return exactly the same tuples.
+``MultiEM(parallel)`` executes merge and prune fan-outs on a persistent
+worker pool (``ParallelConfig.backend``: threads or processes); process
+workers warm the native kernel once and keep snapshot-seeded index caches
+across the whole run. ``python -m pytest benchmarks -q -m smoke`` exercises
+this layer at tiny scale; ``benchmarks/bench_substrates.py`` and
+``benchmarks/bench_pipeline.py`` measure it at 10k rows.
 """
 
 from .config import (

@@ -3,27 +3,39 @@
 Backend selection
 -----------------
 Every backend implements :class:`NearestNeighborIndex` (``build`` then batched
-``query``), so the merging stage swaps them via ``MergingConfig.index``:
+``query``) and funnels through the shared candidate-generation →
+exact-re-rank engine (:mod:`repro.ann.engine`), so the merging stage swaps
+them via ``MergingConfig.index``:
 
 * ``"auto"`` (default) — exact :class:`BruteForceIndex` when the indexed side
   has at most ``brute_force_limit`` rows (default 4096, where one blocked
   distance-matrix pass beats graph construction), :class:`HNSWIndex` above it.
 * ``"brute-force"`` — always exact; the reference the HNSW recall tests
-  compare against.
+  compare against. Queries take the engine's blocked dense top-k path.
 * ``"hnsw"`` — array-backed navigable-small-world graph (flat CSR-style
   neighbour tables, batched distance kernels, incremental ``extend``).
   Tuned by ``hnsw_max_degree`` / ``hnsw_ef_construction`` / ``hnsw_ef_search``.
-  With a C toolchain present *and* a wheel-bundled ILP64 OpenBLAS (the
-  ``scipy-openblas64`` builds standard numpy/scipy wheels ship — MKL- or
-  distro-linked numpy is not recognized), the insert/search loops run
-  through the runtime-compiled native kernel (:mod:`repro.ann.native`) —
-  same algorithm, same OpenBLAS calls, byte-identical graphs and results
-  (gated by a load-time self-test). Otherwise the pure-Python loops run,
-  with the reason recorded in ``repro.ann.native.disabled_reason``;
-  ``REPRO_NATIVE=0`` forces the fallback, ``REPRO_NATIVE=require`` makes
-  unavailability a hard error.
 * ``"lsh"`` — sign-random-projection hashing with CSR bucket tables and exact
-  re-ranking; the cheap-and-cheerful option for the design ablation.
+  re-ranking; the cheap-and-cheerful option for the design ablation. Tuned by
+  ``lsh_num_tables`` / ``lsh_num_bits`` / ``lsh_probe_neighbors``. The probe
+  stream re-ranks as one flat CSR (query → candidates) segment-top-k.
+
+Native kernel
+-------------
+With a C toolchain present *and* a wheel-bundled ILP64 OpenBLAS (the
+``scipy-openblas64`` builds standard numpy/scipy wheels ship — MKL- or
+distro-linked numpy is not recognized), the hot loops of **both** ANN
+backends — HNSW's insert/search traversals and the LSH probe re-rank — run
+through the runtime-compiled shared kernel (:mod:`repro.ann.native`,
+``repro/ann/_ann_kernel.c``): same algorithms, same OpenBLAS calls,
+byte-identical graphs and results, gated by one load-time self-test
+covering both backends. Otherwise the pure-Python/numpy paths run, with the
+reason recorded in ``repro.ann.native.disabled_reason``. ``REPRO_NATIVE=0``
+forces the fallback for everything the kernel governs;
+``REPRO_NATIVE=require`` makes unavailability a hard error (used by the
+benchmark smoke leg). Persistent process pools
+(:mod:`repro.core.parallel`) warm the kernel once per worker at pool
+start-up.
 
 Index reuse
 -----------
@@ -32,7 +44,9 @@ Index reuse
 across ``IncrementalMultiEM.add_table`` calls. Reuse happens only when it is
 byte-identical to a fresh build — an exact content match, or a cached matrix
 that is a prefix of the requested one extended incrementally — so enabling
-the cache never changes pair output.
+the cache never changes pair output. Process-pool workers hold their own
+persistent caches, seeded from the parent's snapshot at pool creation
+(:meth:`IndexCache.snapshot`).
 
 All distance kernels live in :mod:`repro.ann.distances`;
 :class:`~repro.ann.distances.PreparedVectors` hoists per-row statistics

@@ -1,8 +1,9 @@
-/* Native HNSW insert/search kernel.
+/* Native ANN kernel: HNSW insert/search loops plus the shared exact
+ * re-rank used by the LSH backend.
  *
  * This file is compiled at runtime by repro/ann/native.py (plain `gcc -O2
- * -shared -fPIC`, no build system) and drives the same algorithm as the
- * pure-Python HNSWIndex — bit for bit.  The byte-identity argument:
+ * -shared -fPIC`, no build system) and drives the same algorithms as the
+ * pure-Python indexes — bit for bit.  The byte-identity argument:
  *
  *  - Every distance evaluation calls the *same* OpenBLAS routines the numpy
  *    path calls, through function pointers resolved from numpy's own bundled
@@ -18,10 +19,16 @@
  *  - Neighbour selection sorts by the same strict total order, and the
  *    overflow prune replicates `np.argsort(kind="stable")` with a stable
  *    insertion sort.
+ *  - The CSR re-rank (`ann_rerank_csr`) selects top-k per query segment in
+ *    ascending (distance, segment position) order, NaN distances last —
+ *    candidate positions are unique and the comparator classifies NaN
+ *    explicitly, so it is a strict total order (no qsort UB on NaN) and the
+ *    result matches `np.argsort(dists, kind="stable")[:k]` exactly,
+ *    including numpy's NaN-last placement.
  *
  * The Python wrapper verifies all of this empirically at load time (build +
- * query byte-comparison against the pure-Python path) and refuses to enable
- * the kernel otherwise; `tests/ann/` re-checks it on every run.
+ * query + re-rank byte-comparison against the pure-Python paths) and refuses
+ * to enable the kernel otherwise; `tests/ann/` re-checks it on every run.
  */
 
 #include <math.h>
@@ -44,7 +51,7 @@ typedef float (*sdot_fn_t)(blasint n, const float *x, blasint incx, const float 
 static sgemv_fn_t sgemv_fn = 0;
 static sdot_fn_t sdot_fn = 0;
 
-void hnsw_set_blas(void *sgemv_ptr, void *sdot_ptr) {
+void ann_set_blas(void *sgemv_ptr, void *sdot_ptr) {
     sgemv_fn = (sgemv_fn_t)sgemv_ptr;
     sdot_fn = (sdot_fn_t)sdot_ptr;
 }
@@ -122,12 +129,15 @@ HEAP_OPS(maxheap, lt_max)
 /* ----------------------------------------------------------- distances */
 
 /* distances from the prepared query to base[rows], replicating
- * PreparedVectors.row_distances (including numpy's k == 1 sdot dispatch). */
-static void row_distances(const graph_t *g, const float *query, float query_sq,
-                          const int64_t *rows, int64_t k, float *gather, float *out) {
-    int64_t d = g->d;
+ * PreparedVectors.row_distances (including numpy's k == 1 sdot dispatch).
+ * Shared by the HNSW traversal and the CSR re-rank entry point, so the
+ * byte-identity argument is carried in one place. */
+static void base_row_distances(const float *base, const float *sq_norms, int64_t d,
+                               int metric, const float *query, float query_sq,
+                               const int64_t *rows, int64_t k, float *gather,
+                               float *out) {
     for (int64_t i = 0; i < k; i++) {
-        memcpy(gather + i * d, g->base + rows[i] * d, (size_t)d * sizeof(float));
+        memcpy(gather + i * d, base + rows[i] * d, (size_t)d * sizeof(float));
     }
     if (k == 1) {
         out[0] = sdot_fn(d, gather, 1, query, 1);
@@ -138,7 +148,7 @@ static void row_distances(const graph_t *g, const float *query, float query_sq,
     /* Clip via "replace only when strictly out of range" so NaN passes
      * through untouched, exactly like np.maximum / np.clip on the numpy
      * path (fmaxf-style branches would map NaN to the bound instead). */
-    if (g->metric == METRIC_COSINE) {
+    if (metric == METRIC_COSINE) {
         for (int64_t i = 0; i < k; i++) {
             float x = 1.0f - out[i];
             if (x < 0.0f) x = 0.0f;
@@ -147,11 +157,17 @@ static void row_distances(const graph_t *g, const float *query, float query_sq,
         }
     } else {
         for (int64_t i = 0; i < k; i++) {
-            float sq = (query_sq + g->sq_norms[rows[i]]) - 2.0f * out[i];
+            float sq = (query_sq + sq_norms[rows[i]]) - 2.0f * out[i];
             if (sq < 0.0f) sq = 0.0f;
             out[i] = sqrtf(sq);
         }
     }
+}
+
+static void row_distances(const graph_t *g, const float *query, float query_sq,
+                          const int64_t *rows, int64_t k, float *gather, float *out) {
+    base_row_distances(g->base, g->sq_norms, g->d, g->metric, query, query_sq, rows, k,
+                       gather, out);
 }
 
 /* ------------------------------------------------------------- traversal */
@@ -454,5 +470,79 @@ int hnsw_query(const float *base, const float *sq_norms, int64_t d, int metric,
         }
     }
     scratch_free(s);
+    return 0;
+}
+
+/* ------------------------------------------------------- shared re-rank */
+
+/* Ascending (distance, position) with NaN distances last — the order of
+ * np.argsort(dists, kind="stable") over a segment whose positions are the
+ * node ids. cmp_items_asc alone is intransitive when NaN is present (NaN
+ * compares "equal" to everything under <), which would be undefined
+ * behaviour for qsort; classifying NaN explicitly restores a strict total
+ * order. Among NaNs the position tie-break reproduces the stable sort's
+ * original-order placement. */
+static int cmp_rerank_items(const void *pa, const void *pb) {
+    const item_t *a = (const item_t *)pa;
+    const item_t *b = (const item_t *)pb;
+    int a_nan = isnan(a->dist);
+    int b_nan = isnan(b->dist);
+    if (a_nan != b_nan) return a_nan ? 1 : -1;
+    if (!a_nan) {
+        if (a->dist < b->dist) return -1;
+        if (a->dist > b->dist) return 1;
+    }
+    if (a->node < b->node) return -1;
+    if (a->node > b->node) return 1;
+    return 0;
+}
+
+/* Exact re-rank of a flat CSR (query -> candidates) stream: for every query
+ * segment, gather the candidate rows, evaluate exact distances through the
+ * same sgemv/sdot dispatch as PreparedVectors.row_distances, and emit the
+ * top-k in ascending (distance, segment position) order.  Output arrays must
+ * be pre-filled with -1 / inf by the caller; empty segments are skipped.
+ * Returns 0 on success, -1 on allocation failure (outputs untouched, the
+ * Python caller falls back to the byte-identical numpy path). */
+int ann_rerank_csr(const float *base, const float *sq_norms, int64_t d, int metric,
+                   const int64_t *candidates, const int64_t *offsets,
+                   int64_t num_queries, const float *prepared_queries,
+                   const float *query_sqs, int64_t k, int64_t *out_indices,
+                   double *out_distances) {
+    int64_t max_c = 0;
+    for (int64_t q = 0; q < num_queries; q++) {
+        int64_t c = offsets[q + 1] - offsets[q];
+        if (c > max_c) max_c = c;
+    }
+    if (max_c == 0) return 0;
+    float *gather = (float *)malloc((size_t)(max_c * d) * sizeof(float));
+    float *dist = (float *)malloc((size_t)max_c * sizeof(float));
+    item_t *items = (item_t *)malloc((size_t)max_c * sizeof(item_t));
+    if (!gather || !dist || !items) {
+        free(gather);
+        free(dist);
+        free(items);
+        return -1;
+    }
+    for (int64_t q = 0; q < num_queries; q++) {
+        int64_t c = offsets[q + 1] - offsets[q];
+        if (c == 0) continue;
+        const int64_t *segment = candidates + offsets[q];
+        base_row_distances(base, sq_norms, d, metric, prepared_queries + q * d,
+                           query_sqs[q], segment, c, gather, dist);
+        for (int64_t j = 0; j < c; j++) {
+            items[j].dist = dist[j];
+            items[j].node = j; /* segment position — the stable tie-break */
+        }
+        qsort(items, (size_t)c, sizeof(item_t), cmp_rerank_items);
+        int64_t count = c < k ? c : k;
+        for (int64_t j = 0; j < count; j++) {
+            out_indices[q * k + j] = segment[items[j].node];
+            out_distances[q * k + j] = (double)items[j].dist;
+        }
+    }
+    free(gather);
+    free(dist);
+    free(items);
     return 0;
 }

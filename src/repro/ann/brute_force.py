@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import IndexError_
+from . import engine
 from .base import NearestNeighborIndex
 from .distances import PreparedVectors
 
@@ -20,8 +21,10 @@ class BruteForceIndex(NearestNeighborIndex):
     The index-side row statistics (norms for cosine, squared norms for
     euclidean) are prepared once at :meth:`build`, so repeated query batches
     against the same index skip the per-call re-normalization that
-    :func:`~repro.ann.distances.distance_matrix` would redo. Results are
-    bit-identical to the unprepared kernel.
+    :func:`~repro.ann.distances.distance_matrix` would redo. Queries run
+    through the shared engine's dense path
+    (:func:`repro.ann.engine.exact_topk_blocked` — candidate generation is
+    "all rows"); results are bit-identical to the unprepared kernel.
     """
 
     def __init__(self, metric: str = "cosine", batch_size: int = 2048) -> None:
@@ -57,26 +60,14 @@ class BruteForceIndex(NearestNeighborIndex):
         return dup
 
     def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        vectors = self._require_built()
+        self._require_built()
         queries = np.asarray(queries, dtype=np.float32)
         if k < 1:
             raise IndexError_("k must be >= 1")
         assert self._prepared is not None
-        num_queries = queries.shape[0]
-        indices = np.full((num_queries, k), -1, dtype=np.int64)
-        distances = np.full((num_queries, k), np.inf, dtype=np.float64)
-        effective_k = min(k, vectors.shape[0])
+        indices, distances = engine.alloc_topk(queries.shape[0], k)
         prepared_queries = self._prepared.prepare_queries(queries)
-        for start in range(0, num_queries, self.batch_size):
-            stop = min(start + self.batch_size, num_queries)
-            block = self._prepared.block_distances(prepared_queries[start:stop])
-            if effective_k < vectors.shape[0]:
-                top = np.argpartition(block, effective_k - 1, axis=1)[:, :effective_k]
-            else:
-                top = np.tile(np.arange(vectors.shape[0]), (stop - start, 1))
-            row_index = np.arange(stop - start)[:, None]
-            top_distances = block[row_index, top]
-            order = np.argsort(top_distances, axis=1)
-            indices[start:stop, :effective_k] = top[row_index, order]
-            distances[start:stop, :effective_k] = top_distances[row_index, order]
+        engine.exact_topk_blocked(
+            self._prepared, prepared_queries, k, self.batch_size, indices, distances
+        )
         return indices, distances

@@ -193,6 +193,27 @@ class IndexCache:
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
 
+    def snapshot(self) -> list[tuple[Hashable, np.ndarray, NearestNeighborIndex]]:
+        """Picklable ``(params_key, vectors, index)`` entries, LRU order.
+
+        Used to seed the worker-local caches of a persistent process pool
+        (:mod:`repro.core.parallel`): entries ship once at pool start-up, and
+        because cache reuse is exact, a seeded worker produces byte-identical
+        results — it just skips rebuilding indexes the parent already has.
+        The returned arrays and indexes are the live (read-only by contract)
+        cached objects; pickling copies them on the way to the workers.
+        """
+        with self._lock:
+            return [
+                (entry.params_key, entry.vectors, entry.index)
+                for entry in self._entries.values()
+            ]
+
+    def seed(self, entries: "list[tuple[Hashable, np.ndarray, NearestNeighborIndex]]") -> None:
+        """Install :meth:`snapshot` entries (oldest first, normal LRU rules)."""
+        for params_key, vectors, index in entries:
+            self._put(params_key, fingerprint_vectors(vectors), vectors, index)
+
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
         with self._lock:

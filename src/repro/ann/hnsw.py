@@ -46,9 +46,9 @@ import math
 import numpy as np
 
 from ..exceptions import IndexError_
+from . import engine, native
 from .base import NearestNeighborIndex
 from .distances import PreparedVectors
-from . import native
 
 
 class HNSWIndex(NearestNeighborIndex):
@@ -285,9 +285,8 @@ class HNSWIndex(NearestNeighborIndex):
 
     def _native_query_sqs(self, prepared_queries: np.ndarray) -> np.ndarray:
         """Per-query ``(q * q).sum()`` exactly as ``row_distances`` computes it."""
-        if self.metric == "cosine":
-            return np.zeros(prepared_queries.shape[0], dtype=np.float32)
-        return np.ascontiguousarray((prepared_queries * prepared_queries).sum(axis=1))
+        assert self._prepared is not None
+        return engine.query_squared_norms(self._prepared, prepared_queries)
 
     def _insert_range_native(
         self, kernel: "native.NativeKernel", start: int, new_vectors: np.ndarray, levels: list[int]
@@ -469,8 +468,7 @@ class HNSWIndex(NearestNeighborIndex):
             raise IndexError_("k must be >= 1")
         queries = np.asarray(queries, dtype=np.float32)
         num_queries = queries.shape[0]
-        indices = np.full((num_queries, k), -1, dtype=np.int64)
-        distances = np.full((num_queries, k), np.inf, dtype=np.float64)
+        indices, distances = engine.alloc_topk(num_queries, k)
         if self._entry_point is None:
             return indices, distances
         prepared = self._prepared

@@ -10,9 +10,14 @@ into one flat node array) so the probe loop is a batched ``searchsorted``
 over every query × probe signature instead of a Python dict lookup per probe.
 Candidate collection is flat as well: every hit bucket's slice is gathered
 into one per-table ``(query, node)`` key stream, de-duplicated and grouped by
-query with a single ``np.unique`` + ``searchsorted``, and re-ranking runs
-through the prepared distance kernel. Results are bit-identical to the
-dict-based implementation.
+query with a single ``np.unique`` + ``searchsorted``. The resulting flat CSR
+(query → candidates) stream then re-ranks through the shared query engine
+(:func:`repro.ann.engine.rerank_csr`): the native kernel's
+gather + ``sgemv`` + top-k loop when available, a bucketed batched-matmul
+numpy pass otherwise — both bit-identical to the historical per-row
+``row_distances`` + ``argsort`` loop on tie-free data, with exact distance
+ties now broken deterministically by candidate id (``REPRO_NATIVE=0`` forces
+the numpy path; see :mod:`repro.ann.engine` for the byte-identity contract).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import numpy as np
 
 from ..arrays import csr_positions
 from ..exceptions import IndexError_
+from . import engine
 from .base import NearestNeighborIndex
 from .distances import PreparedVectors
 
@@ -50,6 +56,10 @@ class LSHIndex(NearestNeighborIndex):
         self._bucket_offsets: list[np.ndarray] = []
         self._bucket_nodes: list[np.ndarray] = []
         self._prepared: PreparedVectors | None = None
+        # None = use the native re-rank when available; False/True force a
+        # path (the native self-test compares both; REPRO_NATIVE=0 also
+        # disables the kernel globally).
+        self._use_native: bool | None = None
 
     def _signature(self, table: int, vectors: np.ndarray) -> np.ndarray:
         projections = vectors @ self._planes[table].T
@@ -98,8 +108,7 @@ class LSHIndex(NearestNeighborIndex):
         assert self._prepared is not None
         queries = np.asarray(queries, dtype=np.float32)
         num_queries = queries.shape[0]
-        indices = np.full((num_queries, k), -1, dtype=np.int64)
-        distances = np.full((num_queries, k), np.inf, dtype=np.float64)
+        indices, distances = engine.alloc_topk(num_queries, k)
         prepared_queries = self._prepared.prepare_queries(queries)
         # Batched bucket lookup: one searchsorted per hash table covers every
         # (query, probe) pair at once; each table's hit bucket slices are then
@@ -127,20 +136,30 @@ class LSHIndex(NearestNeighborIndex):
             key_chunks.append(np.repeat(hit_rows.astype(np.int64), counts) * num_nodes + candidates)
         if not key_chunks:
             return indices, distances
-        keys = np.unique(np.concatenate(key_chunks))
+        # Sorted dedup of the key stream. Output-identical to ``np.unique``
+        # (the sorted unique set is algorithm-independent) but pinned to the
+        # sort-based path: numpy >= 2.4 routes plain int64 ``np.unique``
+        # through a hash table that is ~25x slower than one in-place sort at
+        # this stream size, and was the dominant cost of the whole query.
+        keys = np.concatenate(key_chunks)
+        keys.sort()
+        fresh = np.ones(keys.shape[0], dtype=bool)
+        fresh[1:] = keys[1:] != keys[:-1]
+        keys = keys[fresh]
+        # Decoded keys are (query, node) sorted lexicographically, so the
+        # flat candidate array is already a per-query CSR stream with each
+        # segment's candidates ascending — exactly the engine's contract.
         candidate_rows = keys // num_nodes
         flat_candidates = keys % num_nodes
         boundaries = np.searchsorted(candidate_rows, np.arange(num_queries + 1, dtype=np.int64))
-        for row in range(num_queries):
-            start, end = boundaries[row], boundaries[row + 1]
-            if start == end:
-                continue
-            candidates = flat_candidates[start:end]
-            dists = self._prepared.row_distances(prepared_queries[row], candidates)
-            order = np.argsort(dists)[:k]
-            idx, dist = self._pad(
-                candidates[order].tolist(), [float(dists[i]) for i in order], k
-            )
-            indices[row] = idx
-            distances[row] = dist
+        engine.rerank_csr(
+            self._prepared,
+            prepared_queries,
+            flat_candidates,
+            boundaries,
+            k,
+            indices,
+            distances,
+            use_native=self._use_native,
+        )
         return indices, distances

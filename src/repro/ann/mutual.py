@@ -45,6 +45,9 @@ def create_index(
     hnsw_max_degree: int = 16,
     hnsw_ef_construction: int = 100,
     hnsw_ef_search: int = 64,
+    lsh_num_tables: int = 8,
+    lsh_num_bits: int = 12,
+    lsh_probe_neighbors: bool = True,
     seed: int = 0,
 ) -> NearestNeighborIndex:
     """Instantiate an ANN backend by name.
@@ -64,7 +67,13 @@ def create_index(
             seed=seed,
         )
     if backend == "lsh":
-        return LSHIndex(metric=metric, seed=seed)
+        return LSHIndex(
+            metric=metric,
+            num_tables=lsh_num_tables,
+            num_bits=lsh_num_bits,
+            probe_neighbors=lsh_probe_neighbors,
+            seed=seed,
+        )
     raise ConfigurationError(f"unknown ANN backend {backend!r}")
 
 

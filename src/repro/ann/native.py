@@ -1,20 +1,24 @@
-"""Runtime-compiled native HNSW kernel (optional, byte-identical, self-tested).
+"""Runtime-compiled native ANN kernel (optional, byte-identical, self-tested).
 
-The pure-Python HNSW spends ~90% of its wall clock on per-expansion numpy
-dispatch overhead (tiny fancy-index gathers, matvecs over <= 33 rows, heap
-bookkeeping), not on arithmetic. This module compiles
-``repro/ann/_hnsw_kernel.c`` with the system C compiler at first use and runs
-the same insert/search loops natively, calling the *same* OpenBLAS
-``cblas_sgemv`` / ``cblas_sdot`` routines numpy dispatches to — resolved by
-``dlopen``-ing the shared library bundled inside the installed numpy itself —
+The pure-Python ANN hot loops spend most of their wall clock on per-step
+numpy dispatch overhead (tiny fancy-index gathers, matvecs over a handful of
+rows, heap bookkeeping), not on arithmetic. This module compiles
+``repro/ann/_ann_kernel.c`` with the system C compiler at first use and runs
+those loops natively — the HNSW insert/search traversals *and* the shared
+CSR re-rank the LSH backend funnels through
+(:func:`repro.ann.engine.rerank_csr`) — calling the *same* OpenBLAS
+``cblas_sgemv`` / ``cblas_sdot`` routines numpy dispatches to, resolved by
+``dlopen``-ing the shared library bundled inside the installed numpy itself,
 so every distance comes out bit-for-bit identical to the numpy path.
 
 Safety model: the kernel is only enabled after a load-time **self-test**
-builds, extends and queries small indexes through both paths (both metrics)
+builds, extends and queries small HNSW *and* LSH indexes through both paths
+(both metrics, probe-neighbour variants, duplicate rows, all-miss queries)
 and byte-compares the graphs and results. Any environment where the
 toolchain, BLAS symbols, or bit-identity assumptions do not hold silently
-falls back to the pure-Python implementation — same outputs, just slower.
-Set ``REPRO_NATIVE=0`` to force the fallback.
+falls back to the pure-Python implementations — same outputs, just slower.
+Set ``REPRO_NATIVE=0`` to force the fallback, ``REPRO_NATIVE=require`` to
+make unavailability a hard error.
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ import subprocess
 import tempfile
 import threading
 
-_SOURCE = os.path.join(os.path.dirname(__file__), "_hnsw_kernel.c")
+_SOURCE = os.path.join(os.path.dirname(__file__), "_ann_kernel.c")
 
 #: why the kernel is unavailable (diagnostics; None while undetermined/loaded)
 disabled_reason: str | None = None
@@ -51,8 +55,8 @@ class NativeKernel:
         self._blas = blas  # keep the BLAS handle alive
         i64, i32, vp = ctypes.c_int64, ctypes.c_int, ctypes.c_void_p
         pvp = ctypes.POINTER(vp)
-        lib.hnsw_set_blas.argtypes = [vp, vp]
-        lib.hnsw_set_blas.restype = None
+        lib.ann_set_blas.argtypes = [vp, vp]
+        lib.ann_set_blas.restype = None
         lib.hnsw_build.argtypes = [
             vp, vp, i64, i32, i32, pvp, pvp, pvp, vp, i64, i64,
             vp, i64, i64, vp, vp, vp, vp,
@@ -63,8 +67,13 @@ class NativeKernel:
             vp, vp, vp, i64, i64, i64, i64, i64, vp, vp,
         ]
         lib.hnsw_query.restype = i32
+        lib.ann_rerank_csr.argtypes = [
+            vp, vp, i64, i32, vp, vp, i64, vp, vp, i64, vp, vp,
+        ]
+        lib.ann_rerank_csr.restype = i32
         self.build = lib.hnsw_build
         self.query = lib.hnsw_query
+        self.rerank = lib.ann_rerank_csr
 
     @staticmethod
     def pointer_array(arrays: list) -> "ctypes.Array[ctypes.c_void_p]":
@@ -151,7 +160,7 @@ def _compile_kernel() -> ctypes.CDLL:
         source = handle.read()
     digest = hashlib.sha256(source).hexdigest()[:16]
     build_dir = _build_directory()
-    out_path = os.path.join(build_dir, f"hnsw_kernel-{digest}.so")
+    out_path = os.path.join(build_dir, f"ann_kernel-{digest}.so")
     if not os.path.exists(out_path):
         tmp_path = f"{out_path}.{os.getpid()}.tmp"
         compiler = os.environ.get("CC", "gcc")
@@ -175,6 +184,7 @@ def _self_test() -> str | None:
     import numpy as np
 
     from .hnsw import HNSWIndex
+    from .lsh import LSHIndex
 
     rng = np.random.default_rng(1234)
     vectors = rng.normal(size=(160, 32)).astype(np.float32)
@@ -206,6 +216,22 @@ def _self_test() -> str | None:
             n_idx, n_dist = native_index.query(queries, k)
             if not np.array_equal(p_idx, n_idx) or p_dist.tobytes() != n_dist.tobytes():
                 return f"{metric}: query (k={k}) diverged"
+    # LSH probe + re-rank: duplicate rows (exact distance ties), probe
+    # variants, and far-away all-miss queries all byte-compare through the
+    # shared CSR re-rank.
+    lsh_queries = np.concatenate([vectors[:20], -100.0 * vectors[:4]])
+    for metric in ("cosine", "euclidean"):
+        for probe_neighbors in (True, False):
+            index = LSHIndex(
+                metric=metric, num_tables=3, num_bits=6,
+                probe_neighbors=probe_neighbors, seed=11,
+            ).build(vectors)
+            index._use_native = False
+            p_idx, p_dist = index.query(lsh_queries, 5)
+            index._use_native = True
+            n_idx, n_dist = index.query(lsh_queries, 5)
+            if not np.array_equal(p_idx, n_idx) or p_dist.tobytes() != n_dist.tobytes():
+                return f"{metric}: LSH re-rank (probe_neighbors={probe_neighbors}) diverged"
     return None
 
 
@@ -250,7 +276,7 @@ def _load_kernel() -> NativeKernel | None:
         try:
             lib = _compile_kernel()
             kernel = NativeKernel(lib, blas)
-            lib.hnsw_set_blas(sgemv, sdot)
+            lib.ann_set_blas(sgemv, sdot)
         except Exception as error:  # toolchain, loader, or symbol failures
             disabled_reason = f"kernel load failed: {error}"
             _loaded = True

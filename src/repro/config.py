@@ -80,6 +80,9 @@ class MergingConfig:
         brute_force_limit: table size under which exact search is used in
             ``"auto"`` mode.
         hnsw_ef_construction / hnsw_ef_search / hnsw_max_degree: HNSW knobs.
+        lsh_num_tables / lsh_num_bits / lsh_probe_neighbors: LSH knobs (hash
+            tables, signature bits, Hamming-1 neighbour probing) for the
+            backend-ablation benchmark.
         index_cache: consult an :class:`repro.ann.cache.IndexCache` before
             building per-merge ANN indexes, reusing carried-forward indexes
             across hierarchy levels (and across ``add_table`` calls in the
@@ -97,6 +100,9 @@ class MergingConfig:
     hnsw_ef_construction: int = 100
     hnsw_ef_search: int = 64
     hnsw_max_degree: int = 16
+    lsh_num_tables: int = 8
+    lsh_num_bits: int = 12
+    lsh_probe_neighbors: bool = True
     index_cache: bool = True
     index_cache_entries: int = 8
     seed: int = 0
@@ -112,6 +118,8 @@ class MergingConfig:
             raise ConfigurationError(f"unknown index backend {self.index!r}")
         if self.brute_force_limit < 1:
             raise ConfigurationError("brute_force_limit must be >= 1")
+        if self.lsh_num_tables < 1 or self.lsh_num_bits < 1:
+            raise ConfigurationError("lsh_num_tables and lsh_num_bits must be >= 1")
         if self.index_cache_entries < 1:
             raise ConfigurationError("index_cache_entries must be >= 1")
 
@@ -159,11 +167,17 @@ class ParallelConfig:
         backend: ``"thread"`` or ``"process"``; threads are the default since
             the heavy lifting is released-GIL numpy work.
         max_workers: pool size (``None`` lets the executor decide).
+        reuse_pool: keep one persistent worker pool per
+            :class:`~repro.core.parallel.ParallelExecutor` lifetime (the
+            default). ``False`` restores the historical spin-up-per-call
+            behaviour — only useful as the baseline in the pool-reuse
+            benchmark.
     """
 
     enabled: bool = False
     backend: str = "thread"
     max_workers: int | None = None
+    reuse_pool: bool = True
 
     def validate(self) -> None:
         if self.backend not in ("thread", "process", "serial"):

@@ -129,3 +129,18 @@ class IncrementalMultiEM:
     def known_sources(self) -> tuple[str, ...]:
         """Names of the sources merged so far, sorted."""
         return tuple(sorted(self._known_sources))
+
+    # -------------------------------------------------------------- teardown
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent).
+
+        The matcher stays usable afterwards — the executor lazily re-creates
+        its pool if another ``fit`` / ``add_table`` needs one.
+        """
+        self._executor.close()
+
+    def __enter__(self) -> "IncrementalMultiEM":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

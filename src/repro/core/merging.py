@@ -327,6 +327,9 @@ def merge_item_tables(
             "hnsw_max_degree": config.hnsw_max_degree,
             "hnsw_ef_construction": config.hnsw_ef_construction,
             "hnsw_ef_search": config.hnsw_ef_search,
+            "lsh_num_tables": config.lsh_num_tables,
+            "lsh_num_bits": config.lsh_num_bits,
+            "lsh_probe_neighbors": config.lsh_probe_neighbors,
             "seed": config.seed,
         },
         cache=cache,
@@ -451,6 +454,24 @@ def merge_item_tables(
     return merged, len(pairs)
 
 
+def _merge_pair_task(task: tuple) -> tuple[ItemTable, int]:
+    """Merge one table pair inside a process-pool worker.
+
+    Module-level (hence picklable) counterpart of the thread path's closure.
+    The worker consults its own persistent :class:`~repro.ann.cache.IndexCache`
+    (installed by the pool initializer, seeded from the parent's snapshot and
+    extended across tasks), which restores cross-level index reuse for the
+    process backend; cache reuse is exact, so the merged output is identical
+    to the serial and thread paths bit for bit.
+    """
+    from .parallel import worker_index_cache
+
+    left, right, config, representative = task
+    return merge_item_tables(
+        left, right, config, representative=representative, cache=worker_index_cache()
+    )
+
+
 def merge_two_tables(
     left: list[MergeItem],
     right: list[MergeItem],
@@ -503,6 +524,11 @@ def hierarchical_merge_tables(
     executor = executor or ParallelExecutor()
     if cache is None and config.index_cache:
         cache = IndexCache(max_entries=config.index_cache_entries)
+    if executor.uses_processes:
+        # Seed the process workers' local caches from whatever the attached
+        # cache already holds (snapshot taken at lazy pool creation, i.e.
+        # at the first parallel map below).
+        executor.attach_index_cache(cache)
     stats = MergeStats()
     rng = np.random.default_rng(config.seed)
     current: list[ItemTable] = [as_item_table(table) for table in tables]
@@ -518,12 +544,23 @@ def hierarchical_merge_tables(
         if len(order) % 2 == 1:
             leftover.append(current[order[-1]])
 
-        merge_results = executor.map(
-            lambda pair: merge_item_tables(
-                pair[0], pair[1], config, representative=representative, cache=cache
-            ),
-            pairs,
-        )
+        if executor.uses_processes and len(pairs) > 1:
+            # Process pools ship tasks by pickle: dispatch the module-level
+            # task (workers use their own persistent index caches). Levels
+            # with a single pair run serially in the parent (executor.map's
+            # small-input fast path), so they take the closure branch below
+            # and keep using the parent's cache.
+            merge_results = executor.map(
+                _merge_pair_task,
+                [(left, right, config, representative) for left, right in pairs],
+            )
+        else:
+            merge_results = executor.map(
+                lambda pair: merge_item_tables(
+                    pair[0], pair[1], config, representative=representative, cache=cache
+                ),
+                pairs,
+            )
         matched_this_level = 0
         next_level: list[ItemTable] = []
         for merged, matched in merge_results:

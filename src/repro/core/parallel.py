@@ -1,56 +1,187 @@
-"""Parallel execution backend for MultiEM(parallel).
+"""Parallel execution backend for MultiEM(parallel), with persistent pools.
 
 The paper parallelizes two embarrassingly parallel loops (Section III-E):
 per-table-pair merging within one hierarchy level, and per-tuple pruning.
 This module wraps the choice of serial / thread-pool / process-pool execution
-behind one ``map``-like call so the pipeline code stays identical in both
+behind one ``map``-like call so the pipeline code stays identical in all
 modes. Thread pools are the default because the heavy work (numpy distance
 kernels) releases the GIL.
+
+Persistent pools
+----------------
+
+Worker pools are created **once per executor lifetime** (lazily, at the
+first parallel ``map``) and reused by every subsequent call — the historical
+behaviour of spinning a fresh pool per call is kept only behind
+``ParallelConfig.reuse_pool=False`` as the benchmark baseline. Persistence is
+what makes the process backend viable: workers survive across the merge
+hierarchy's levels and across ``map`` calls, so per-call pool start-up
+disappears and each worker's warmed state is amortized over the whole run.
+Call :meth:`ParallelExecutor.close` (or use the executor as a context
+manager) to release the pools; a closed executor lazily re-creates them if
+it is used again.
+
+Process workers are started with an initializer that
+
+* **warms the native ANN kernel** (:func:`repro.ann.native.get_kernel`):
+  the compile/self-test cost is paid once per worker instead of once per
+  dispatched task burst, and under ``fork`` the parent's already-loaded
+  kernel is inherited outright;
+* **seeds a worker-local** :class:`~repro.ann.cache.IndexCache` from the
+  snapshot of the cache attached via :meth:`ParallelExecutor.attach_index_cache`
+  (pickle-shipped through the pool's ``initargs``; under ``fork`` the entry
+  arrays arrive copy-on-write). Workers keep extending their local caches
+  across tasks, which restores cross-level ANN index reuse for the process
+  backend. Cache reuse is exact, so results are byte-identical with or
+  without it.
+
+Because a process pool ships tasks by pickle, callers dispatch module-level
+task functions to it (see :mod:`repro.core.merging` /
+:mod:`repro.core.pruning`); the thread and serial paths accept arbitrary
+callables as before.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
 from ..config import ParallelConfig
 from ..exceptions import ConfigurationError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ann.cache import IndexCache
+
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Per-process state of pool workers, populated by :func:`_process_worker_init`.
+_WORKER_STATE: dict = {}
+
+
+def _process_worker_init(cache_entries: int, cache_payload: tuple) -> None:
+    """Initializer run once in every process-pool worker.
+
+    Warms the runtime-compiled ANN kernel (the ``.so`` is disk-cached, so
+    this is a load + byte-identity self-test, not a recompile) and installs
+    the worker-local index cache, optionally seeded from the parent's
+    snapshot.
+    """
+    from ..ann import native
+
+    native.get_kernel()  # None (with a recorded reason) is a valid outcome
+    cache = None
+    if cache_entries > 0:
+        from ..ann.cache import IndexCache
+
+        cache = IndexCache(max_entries=cache_entries)
+        if cache_payload:
+            cache.seed(list(cache_payload))
+    _WORKER_STATE["index_cache"] = cache
+
+
+def worker_index_cache() -> "IndexCache | None":
+    """The calling process-pool worker's local index cache (None elsewhere)."""
+    return _WORKER_STATE.get("index_cache")
+
 
 class ParallelExecutor:
-    """Map a function over items serially or via a worker pool."""
+    """Map a function over items serially or via a persistent worker pool."""
 
     def __init__(self, config: ParallelConfig | None = None) -> None:
         self.config = config or ParallelConfig()
         self.config.validate()
+        self._pool: Executor | None = None  # persistent; backend is fixed per executor
+        self._attached_cache: "IndexCache | None" = None
 
     @property
     def is_parallel(self) -> bool:
         """Whether calls will actually fan out to a worker pool."""
         return self.config.enabled and self.config.backend != "serial"
 
+    @property
+    def uses_processes(self) -> bool:
+        """Whether parallel calls cross a process boundary (tasks must pickle)."""
+        return self.is_parallel and self.config.backend == "process"
+
+    def attach_index_cache(self, cache: "IndexCache | None") -> None:
+        """Register the cache whose snapshot seeds process workers.
+
+        The snapshot is taken when the process pool is (lazily) created, so
+        attach before the first parallel ``map``. Thread and serial backends
+        share the cache object directly and ignore this.
+        """
+        self._attached_cache = cache
+
+    # ------------------------------------------------------------- pools
+    def _process_initargs(self) -> tuple[int, tuple]:
+        cache = self._attached_cache
+        if cache is None:
+            return 0, ()
+        return cache.max_entries, tuple(cache.snapshot())
+
+    def _make_pool(self) -> Executor:
+        if self.config.backend == "thread":
+            return ThreadPoolExecutor(max_workers=self.config.max_workers)
+        if self.config.backend == "process":
+            return ProcessPoolExecutor(
+                max_workers=self.config.max_workers,
+                initializer=_process_worker_init,
+                initargs=self._process_initargs(),
+            )
+        raise ConfigurationError(f"unknown parallel backend {self.config.backend!r}")
+
+    def _ensure_pool(self) -> Executor:
+        if self._pool is None:
+            self._pool = self._make_pool()
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent; lazily re-created on reuse)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # --------------------------------------------------------------- map
     def map(self, function: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``function`` to every item, preserving input order.
 
         Falls back to serial execution for empty or single-item input, where a
         pool would only add overhead (the paper observes the same effect on
-        the small Geo dataset).
+        the small Geo dataset). With ``backend="process"``, ``function`` and
+        every item must be picklable — use module-level task functions.
         """
         if not self.is_parallel or len(items) <= 1:
             return [function(item) for item in items]
-        if self.config.backend == "thread":
-            with ThreadPoolExecutor(max_workers=self.config.max_workers) as pool:
+        if self.config.backend not in ("thread", "process"):
+            raise ConfigurationError(f"unknown parallel backend {self.config.backend!r}")
+        if not self.config.reuse_pool:  # historical spin-up-per-call baseline
+            with self._make_pool() as pool:
                 return list(pool.map(function, items))
-        if self.config.backend == "process":
-            with ProcessPoolExecutor(max_workers=self.config.max_workers) as pool:
-                return list(pool.map(function, items))
-        raise ConfigurationError(f"unknown parallel backend {self.config.backend!r}")
+        pool = self._ensure_pool()
+        try:
+            return list(pool.map(function, items))
+        except BrokenProcessPool:
+            # Drop the broken pool so a later call starts fresh, then surface
+            # the failure — silently retrying could mask a crashing task.
+            self._pool = None
+            raise
 
     def starmap(self, function: Callable[..., R], items: Iterable[tuple]) -> list[R]:
-        """Like :meth:`map` but unpacking argument tuples."""
+        """Like :meth:`map` but unpacking argument tuples (thread/serial only)."""
         materialized = list(items)
         return self.map(lambda args: function(*args), materialized)
 

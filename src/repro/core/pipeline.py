@@ -44,9 +44,19 @@ class MultiEM:
 
     # ------------------------------------------------------------------ run
     def match(self, dataset: MultiTableDataset) -> MatchResult:
-        """Run the full pipeline on a dataset and return the predicted tuples."""
-        timings = StageTimings()
+        """Run the full pipeline on a dataset and return the predicted tuples.
+
+        The parallel executor's persistent worker pool is shared by the
+        merging and pruning stages and released when the run finishes.
+        """
         executor = ParallelExecutor(self.config.parallel)
+        try:
+            return self._match(dataset, executor)
+        finally:
+            executor.close()
+
+    def _match(self, dataset: MultiTableDataset, executor: ParallelExecutor) -> MatchResult:
+        timings = StageTimings()
         representer = EntityRepresenter(self.config.representation, encoder=self._encoder_override)
 
         # Stage S: automated attribute selection (Algorithm 1). Optional —

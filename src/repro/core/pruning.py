@@ -213,14 +213,11 @@ def _assemble_survivors(
     return survivors
 
 
-def _prune_chunk(
+def _gather_chunk(
     chunk: list[MergeItem],
     embedding_lookup: Mapping[EntityRef, np.ndarray],
-    config: PruningConfig,
-) -> list[MergeItem]:
-    """Batched pruning of one chunk of candidate items."""
-    if not chunk:
-        return []
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat member matrix + CSR offsets for one candidate chunk."""
     sizes = np.fromiter((item.size for item in chunk), dtype=np.int64, count=len(chunk))
     offsets = np.zeros(len(chunk) + 1, dtype=np.int64)
     np.cumsum(sizes, out=offsets[1:])
@@ -229,6 +226,31 @@ def _prune_chunk(
         member_matrix = embedding_lookup.matrix[embedding_lookup.rows(members)]
     else:
         member_matrix = np.stack([embedding_lookup[ref] for ref in members])
+    return member_matrix, offsets
+
+
+def _prune_chunk(
+    chunk: list[MergeItem],
+    embedding_lookup: Mapping[EntityRef, np.ndarray],
+    config: PruningConfig,
+) -> list[MergeItem]:
+    """Batched pruning of one chunk of candidate items."""
+    if not chunk:
+        return []
+    member_matrix, offsets = _gather_chunk(chunk, embedding_lookup)
+    return _assemble_survivors(chunk, member_matrix, offsets, config)
+
+
+def _prune_payload_task(payload: tuple) -> list[MergeItem]:
+    """Classify one pre-gathered candidate chunk (process-pool task).
+
+    The parent gathers each chunk's member matrix (cheap fancy indexing) and
+    ships ``(items, matrix, offsets, config)``; workers run the O(u²)
+    classification. Module-level so the process backend can pickle it;
+    results are bit-identical to the in-process chunk path (chunking never
+    changes a tuple's arithmetic).
+    """
+    chunk, member_matrix, offsets, config = payload
     return _assemble_survivors(chunk, member_matrix, offsets, config)
 
 
@@ -255,7 +277,15 @@ def prune_items(
     if executor.is_parallel:
         workers = executor.config.max_workers or 4
         chunks = partition(candidates, max(workers, 1) * 2)
-        results = executor.map(lambda chunk: _prune_chunk(chunk, embedding_lookup, config), chunks)
+        if executor.uses_processes:
+            payloads = [
+                (chunk, *_gather_chunk(chunk, embedding_lookup), config) for chunk in chunks
+            ]
+            results = executor.map(_prune_payload_task, payloads)
+        else:
+            results = executor.map(
+                lambda chunk: _prune_chunk(chunk, embedding_lookup, config), chunks
+            )
         return [item for chunk_result in results for item in chunk_result]
     return _prune_chunk(candidates, embedding_lookup, config)
 
@@ -290,10 +320,18 @@ def prune_item_table(
         bounds = _chunk_bounds(len(candidates), max(workers, 1) * 2)
     else:
         bounds = [(0, len(candidates))]
-    mapped = executor.map(
-        lambda chunk_bounds: _prune_table_chunk(candidates, store, rows, refs, chunk_bounds, config),
-        bounds,
-    )
+    if executor.uses_processes:
+        payloads = [
+            (*_table_chunk_payload(candidates, store, rows, refs, b), config) for b in bounds
+        ]
+        mapped = executor.map(_prune_payload_task, payloads)
+    else:
+        mapped = executor.map(
+            lambda chunk_bounds: _prune_table_chunk(
+                candidates, store, rows, refs, chunk_bounds, config
+            ),
+            bounds,
+        )
     return [item for chunk_result in mapped for item in chunk_result]
 
 
@@ -306,6 +344,25 @@ def _chunk_bounds(num_items: int, num_parts: int) -> list[tuple[int, int]]:
     return [(chunk[0], chunk[-1] + 1) for chunk in partition(range(num_items), num_parts)]
 
 
+def _table_chunk_payload(
+    candidates: ItemTable,
+    store: EmbeddingStore,
+    rows: np.ndarray,
+    refs: list[EntityRef],
+    bounds: tuple[int, int],
+) -> tuple[list[MergeItem], np.ndarray, np.ndarray]:
+    """Materialize one contiguous candidate range ``[first, last)`` for pruning."""
+    first, last = bounds
+    lo, hi = int(candidates.member_offsets[first]), int(candidates.member_offsets[last])
+    chunk_offsets = candidates.member_offsets[first : last + 1] - lo
+    member_matrix = store.matrix[rows[lo:hi]]
+    chunk_items = [
+        MergeItem(members=tuple(refs[lo + o0 : lo + o1]), vector=candidates.vectors[first + i])
+        for i, (o0, o1) in enumerate(zip(chunk_offsets[:-1].tolist(), chunk_offsets[1:].tolist()))
+    ]
+    return chunk_items, member_matrix, chunk_offsets
+
+
 def _prune_table_chunk(
     candidates: ItemTable,
     store: EmbeddingStore,
@@ -315,12 +372,7 @@ def _prune_table_chunk(
     config: PruningConfig,
 ) -> list[MergeItem]:
     """Prune one contiguous candidate range ``[first, last)`` of the flat table."""
-    first, last = bounds
-    lo, hi = int(candidates.member_offsets[first]), int(candidates.member_offsets[last])
-    chunk_offsets = candidates.member_offsets[first : last + 1] - lo
-    member_matrix = store.matrix[rows[lo:hi]]
-    chunk_items = [
-        MergeItem(members=tuple(refs[lo + o0 : lo + o1]), vector=candidates.vectors[first + i])
-        for i, (o0, o1) in enumerate(zip(chunk_offsets[:-1].tolist(), chunk_offsets[1:].tolist()))
-    ]
+    chunk_items, member_matrix, chunk_offsets = _table_chunk_payload(
+        candidates, store, rows, refs, bounds
+    )
     return _assemble_survivors(chunk_items, member_matrix, chunk_offsets, config)

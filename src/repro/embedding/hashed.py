@@ -40,7 +40,7 @@ from typing import Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..text.hashing import signed_bucket, signed_bucket_batch
+from ..text.hashing import signed_bucket, signed_bucket_batch, signed_ngram_buckets
 from ..text.tokenizer import TokenTable, char_ngrams, word_tokens_batch
 from ..text.vocab import Vocabulary
 from .base import SentenceEncoder, normalize_rows
@@ -151,17 +151,21 @@ class HashedNGramEncoder(SentenceEncoder):
     def _build_token_vectors(self, tokens: list[str]) -> np.ndarray:
         """Build (and cache) many tokens' vectors with batched FNV hashing.
 
-        One :func:`~repro.text.hashing.signed_bucket_batch` pass hashes every
-        char n-gram of every token; the per-token ±1 scatter is a single
-        ``np.bincount`` (float adds of ±1 are exact integers, so any
-        accumulation order reproduces the scalar loop bit for bit), followed
-        by the whole-token hash contribution and the scalar per-row
-        normalization of :meth:`_token_vector`.
+        One :func:`~repro.text.hashing.signed_ngram_buckets` pass enumerates
+        *and* hashes every char n-gram of every token straight off the
+        boundary-padded byte matrix (no gram strings, no per-token Python
+        loop — hashes are bit-identical to the scalar
+        :func:`~repro.text.hashing.signed_bucket` of each
+        :func:`~repro.text.tokenizer.char_ngrams` gram); the per-token ±1
+        scatter is a single ``np.bincount`` (float adds of ±1 are exact
+        integers, so any accumulation order reproduces the scalar loop bit
+        for bit), followed by the whole-token hash contribution and the
+        scalar per-row normalization of :meth:`_token_vector`.
         """
-        gram_lists = [char_ngrams(token, *self.ngram_range) for token in tokens]
-        gram_counts = np.fromiter((len(grams) for grams in gram_lists), np.int64, len(tokens))
-        flat_grams = [gram for grams in gram_lists for gram in grams]
-        buckets, signs = signed_bucket_batch(flat_grams, self.dimension, self.seed)
+        n_min, n_max = self.ngram_range
+        buckets, signs, gram_counts = signed_ngram_buckets(
+            [f"<{token}>" for token in tokens], n_min, n_max, self.dimension, self.seed
+        )
         token_rows = np.repeat(np.arange(len(tokens), dtype=np.int64), gram_counts)
         accumulated = np.bincount(
             token_rows * np.int64(self.dimension) + buckets,

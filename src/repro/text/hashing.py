@@ -8,6 +8,15 @@ same sign, which makes embeddings reproducible across runs and processes.
 batches with one masked uint64 pass per byte position (wrapping multiplies
 match the scalar ``& _MASK64`` arithmetic exactly), so the encoder can hash
 every char n-gram of a vocabulary without a Python loop per gram.
+
+:func:`char_ngram_hashes` / :func:`signed_ngram_buckets` go one step
+further for cold vocabularies: they enumerate *and* hash every character
+n-gram of a whole string batch without materializing gram strings at all.
+ASCII strings (where one char is one UTF-8 byte) take a sliding-window
+vectorized path — the FNV-1a recurrence runs over uint64 window stacks, one
+masked multiply per byte position — while strings containing multi-byte
+characters fall back to per-string gram enumeration. Hash values are
+bit-identical to hashing each gram's UTF-8 bytes through :func:`fnv1a_64`.
 """
 
 from __future__ import annotations
@@ -15,6 +24,8 @@ from __future__ import annotations
 from typing import Sequence
 
 import numpy as np
+
+from ..arrays import csr_positions
 
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
@@ -77,6 +88,107 @@ def signed_bucket_batch(
     if num_buckets <= 0:
         raise ValueError("num_buckets must be positive")
     values = fnv1a_64_batch(texts, seed)
+    return _signed_buckets_from_values(values, num_buckets)
+
+
+def _signed_buckets_from_values(
+    values: np.ndarray, num_buckets: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(bucket, ±1 sign) pairs from raw hash values — the hashing-trick split."""
     signs = np.where((values >> np.uint64(63)) & np.uint64(1), 1.0, -1.0)
     buckets = (values % np.uint64(num_buckets)).astype(np.int64)
     return buckets, signs
+
+
+def char_ngram_hashes(
+    texts: Sequence[str], n_min: int, n_max: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """FNV-1a hashes of every char n-gram of every text, without gram strings.
+
+    Mirrors :func:`repro.text.tokenizer.char_ngrams` with ``boundary=False``
+    applied to each text as given (callers add boundary markers themselves):
+    a text no longer than ``n_min`` characters contributes its whole self as
+    a single gram; longer texts contribute every ``n``-character window for
+    ``n_min <= n <= n_max``. Returns the flat uint64 hash array (texts in
+    order, grams grouped per text) plus the int64 per-text gram counts.
+
+    Every hash equals :func:`fnv1a_64` of the gram's UTF-8 bytes bit for
+    bit: pure-ASCII texts run through a sliding-window uint64 recurrence
+    (wrapping multiplies, same as the scalar mask), texts with multi-byte
+    characters fall back to per-text gram enumeration.
+    """
+    if n_min < 1 or n_max < n_min:
+        raise ValueError("require 1 <= n_min <= n_max")
+    num_texts = len(texts)
+    if num_texts == 0:
+        return np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.int64)
+    char_lens = np.fromiter((len(text) for text in texts), np.int64, num_texts)
+    counts = np.zeros(num_texts, dtype=np.int64)
+    for n in range(n_min, n_max + 1):
+        counts += np.maximum(char_lens - n + 1, 0)
+    short = char_lens <= n_min
+    counts[short] = 1
+    offsets = np.zeros(num_texts + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    values = np.empty(int(offsets[-1]), dtype=np.uint64)
+
+    short_rows = np.flatnonzero(short)
+    if short_rows.size:
+        values[offsets[short_rows]] = fnv1a_64_batch([texts[i] for i in short_rows], seed)
+
+    encoded = [texts[i].encode("utf-8") for i in np.flatnonzero(~short)]
+    long_rows = np.flatnonzero(~short)
+    byte_lens = np.fromiter((len(raw) for raw in encoded), np.int64, len(encoded))
+    is_ascii = byte_lens == char_lens[long_rows]
+
+    ascii_rows = long_rows[is_ascii]
+    if ascii_rows.size:
+        ascii_raw = [encoded[i] for i in np.flatnonzero(is_ascii)]
+        lens = char_lens[ascii_rows]
+        max_len = int(lens.max())
+        padded = b"".join(raw.ljust(max_len, b"\x00") for raw in ascii_raw)
+        matrix = np.frombuffer(padded, dtype=np.uint8).reshape(len(ascii_raw), max_len)
+        initial = np.uint64((_FNV_OFFSET ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64)
+        prime = np.uint64(_FNV_PRIME)
+        cursor = offsets[ascii_rows].copy()
+        windows_all = np.lib.stride_tricks.sliding_window_view  # (rows, W, n) views
+        for n in range(n_min, n_max + 1):
+            if n > max_len:
+                break
+            windows = windows_all(matrix, n, axis=1)
+            hashes = np.full(windows.shape[:2], initial, dtype=np.uint64)
+            for j in range(n):
+                hashes = (hashes ^ windows[:, :, j].astype(np.uint64)) * prime
+            window_counts = np.maximum(lens - n + 1, 0)
+            valid = np.arange(windows.shape[1], dtype=np.int64)[None, :] < window_counts[:, None]
+            values[csr_positions(cursor, window_counts)] = hashes[valid]
+            cursor += window_counts
+
+    other_rows = long_rows[~is_ascii]
+    for row, raw_index in zip(other_rows.tolist(), np.flatnonzero(~is_ascii).tolist()):
+        text = texts[row]
+        grams = [
+            text[i : i + n]
+            for n in range(n_min, min(n_max, len(text)) + 1)
+            for i in range(len(text) - n + 1)
+        ]
+        values[offsets[row] : offsets[row + 1]] = fnv1a_64_batch(grams, seed)
+    return values, counts
+
+
+def signed_ngram_buckets(
+    texts: Sequence[str], n_min: int, n_max: int, num_buckets: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`signed_bucket` of every char n-gram of every text, batched.
+
+    Returns ``(buckets, signs, counts)``: flat int64 buckets and float64 ±1
+    signs for every gram (texts in order), plus per-text gram counts. The
+    per-text (bucket, sign) multiset — and the count — are identical to
+    hashing ``char_ngrams(text, n_min, n_max, boundary=False)`` one gram at
+    a time.
+    """
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    values, counts = char_ngram_hashes(texts, n_min, n_max, seed)
+    buckets, signs = _signed_buckets_from_values(values, num_buckets)
+    return buckets, signs, counts

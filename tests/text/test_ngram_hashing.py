@@ -1,0 +1,83 @@
+"""Batched char-n-gram FNV hashing vs the scalar gram-at-a-time reference.
+
+``char_ngram_hashes`` / ``signed_ngram_buckets`` must reproduce — in order —
+exactly what hashing each ``char_ngrams`` gram through the scalar functions
+produces, across the ASCII sliding-window fast path, the multi-byte
+(UTF-8) fallback, and the short-token single-gram rule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.text.hashing import (
+    char_ngram_hashes,
+    fnv1a_64,
+    signed_bucket,
+    signed_ngram_buckets,
+)
+from repro.text.tokenizer import char_ngrams
+
+TOKENS = [
+    "hello",
+    "a",
+    "",
+    "ab",
+    "world123",
+    "café",          # multi-byte tail
+    "naïve",         # multi-byte middle
+    "東京tower",      # multi-byte head
+    "x" * 40,        # long ASCII
+    "<already>",     # marker characters are ordinary bytes
+    "ümlaut",
+]
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+@pytest.mark.parametrize("n_range", [(3, 5), (2, 3), (1, 1), (4, 8)])
+def test_char_ngram_hashes_match_scalar_enumeration(seed, n_range):
+    n_min, n_max = n_range
+    values, counts = char_ngram_hashes(TOKENS, n_min, n_max, seed)
+    reference = []
+    for token in TOKENS:
+        grams = char_ngrams(token, n_min, n_max, boundary=False) if token else [token]
+        # char_ngrams requires the caller's boundary padding; boundary=False
+        # applies the same short-token rule to the string as given.
+        reference.append([fnv1a_64(gram, seed) for gram in grams])
+    assert counts.tolist() == [len(grams) for grams in reference]
+    assert values.tolist() == [value for grams in reference for value in grams]
+
+
+def test_signed_ngram_buckets_match_scalar_signed_bucket():
+    padded = [f"<{token}>" for token in TOKENS]
+    buckets, signs, counts = signed_ngram_buckets(padded, 3, 5, 384, seed=1)
+    reference = [signed_bucket(gram, 384, 1) for text in TOKENS for gram in char_ngrams(text, 3, 5)]
+    assert counts.tolist() == [len(char_ngrams(text, 3, 5)) for text in TOKENS]
+    assert buckets.tolist() == [bucket for bucket, _ in reference]
+    assert signs.tolist() == [sign for _, sign in reference]
+
+
+def test_empty_batch_and_validation():
+    values, counts = char_ngram_hashes([], 3, 5)
+    assert values.size == 0 and counts.size == 0
+    with pytest.raises(ValueError):
+        char_ngram_hashes(["x"], 0, 5)
+    with pytest.raises(ValueError):
+        char_ngram_hashes(["x"], 4, 3)
+    with pytest.raises(ValueError):
+        signed_ngram_buckets(["x"], 3, 5, 0)
+
+
+def test_token_vectors_byte_identical_to_scalar_builder():
+    """The encoder's batched cold-vocabulary path equals _token_vector exactly."""
+    from repro.embedding.hashed import HashedNGramEncoder
+
+    reference_encoder = HashedNGramEncoder()
+    batch_encoder = HashedNGramEncoder()
+    want = np.stack([reference_encoder._token_vector(token) for token in TOKENS])
+    got = batch_encoder._build_token_vectors(list(TOKENS))
+    assert want.tobytes() == got.tobytes()
+    for token in TOKENS:
+        assert (
+            batch_encoder._token_cache[token].tobytes()
+            == reference_encoder._token_cache[token].tobytes()
+        )
