@@ -35,6 +35,17 @@ workers warm the native kernel once and keep snapshot-seeded index caches
 across the whole run. ``python -m pytest benchmarks -q -m smoke`` exercises
 this layer at tiny scale; ``benchmarks/bench_substrates.py`` and
 ``benchmarks/bench_pipeline.py`` measure it at 10k rows.
+
+Persistence and serving
+-----------------------
+:mod:`repro.store` snapshots every fitted artifact — integrated
+``ItemTable``, embedding store, ANN indexes with their cache, the fitted
+encoder — into one versioned, memory-mappable file: ``load(mmap=True)``
+restores zero-copy and byte-identical. ``ParallelConfig.shared_memory=True``
+moves the process pool's task arrays into shared-memory planes (no pickled
+tables in either direction), and :class:`repro.store.MatchSession` serves
+``match_new_table`` / nearest-tuple queries from a snapshot without
+refitting (CLI: ``snapshot save|load``, ``serve-match``).
 """
 
 from .config import (

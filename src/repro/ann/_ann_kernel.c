@@ -546,3 +546,55 @@ int ann_rerank_csr(const float *base, const float *sq_norms, int64_t d, int metr
     free(items);
     return 0;
 }
+
+/* ------------------------------------------------------------------ dedup */
+
+/* Sorted dedup of a NON-NEGATIVE int64 key stream, in place.
+ *
+ * LSD radix sort — four counting passes over 16-bit digits (a pass whose
+ * digit is constant across the stream is skipped, which prunes most of the
+ * work for LSH keys, whose high bits are far below 2^48) — followed by one
+ * linear dedup scan.  For non-negative keys the unsigned radix order equals
+ * the signed order, so the surviving prefix is exactly what
+ * `np.sort` + neighbour-mask (and therefore `np.unique`) produces: the
+ * sorted unique set is algorithm-independent.
+ *
+ * Returns the deduplicated count (keys[0..count) hold the result), or -1 on
+ * allocation failure with `keys` untouched so the caller can fall back to
+ * the numpy path. */
+int64_t ann_dedup_i64(int64_t *keys, int64_t n) {
+    if (n < 0) return -1;
+    if (n <= 1) return n;
+    uint64_t *tmp = (uint64_t *)malloc((size_t)n * sizeof(uint64_t));
+    int64_t *counts = (int64_t *)malloc((size_t)65536 * sizeof(int64_t));
+    if (!tmp || !counts) {
+        free(tmp);
+        free(counts);
+        return -1;
+    }
+    uint64_t *src = (uint64_t *)keys;
+    uint64_t *dst = tmp;
+    for (int shift = 0; shift < 64; shift += 16) {
+        memset(counts, 0, (size_t)65536 * sizeof(int64_t));
+        for (int64_t i = 0; i < n; i++) counts[(src[i] >> shift) & 0xffff]++;
+        if (counts[(src[0] >> shift) & 0xffff] == n) continue; /* constant digit */
+        int64_t total = 0;
+        for (int64_t b = 0; b < 65536; b++) {
+            int64_t c = counts[b];
+            counts[b] = total;
+            total += c;
+        }
+        for (int64_t i = 0; i < n; i++) dst[counts[(src[i] >> shift) & 0xffff]++] = src[i];
+        uint64_t *swap = src;
+        src = dst;
+        dst = swap;
+    }
+    if (src != (uint64_t *)keys) memcpy(keys, src, (size_t)n * sizeof(uint64_t));
+    int64_t count = 1;
+    for (int64_t i = 1; i < n; i++) {
+        if (keys[i] != keys[count - 1]) keys[count++] = keys[i];
+    }
+    free(tmp);
+    free(counts);
+    return count;
+}

@@ -59,6 +59,33 @@ class BruteForceIndex(NearestNeighborIndex):
         dup._prepared = None if self._prepared is None else self._prepared.copy()
         return dup
 
+    # --------------------------------------------------------------- snapshot
+    def snapshot_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """State bundle for :mod:`repro.store`: JSON-able meta + named arrays."""
+        if self._vectors is None:
+            raise IndexError_("cannot snapshot an unbuilt index")
+        assert self._prepared is not None
+        arrays: dict[str, np.ndarray] = {"vectors": self._prepared.vectors}
+        if self.metric == "cosine":
+            arrays["normed"] = self._prepared._normed
+        else:
+            arrays["squared_norms"] = self._prepared._squared_norms
+        meta = {"backend": "brute-force", "metric": self.metric, "batch_size": self.batch_size}
+        return meta, arrays
+
+    @classmethod
+    def from_snapshot_state(cls, meta: dict, arrays: dict[str, np.ndarray]) -> "BruteForceIndex":
+        """Rebuild an index from :meth:`snapshot_state` output (arrays adopted as-is)."""
+        index = cls(metric=meta["metric"], batch_size=meta["batch_size"])
+        index._prepared = PreparedVectors.from_state(
+            arrays["vectors"],
+            meta["metric"],
+            normed=arrays.get("normed"),
+            squared_norms=arrays.get("squared_norms"),
+        )
+        index._vectors = index._prepared.vectors
+        return index
+
     def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
         self._require_built()
         queries = np.asarray(queries, dtype=np.float32)

@@ -202,6 +202,13 @@ class IndexCache:
         results — it just skips rebuilding indexes the parent already has.
         The returned arrays and indexes are the live (read-only by contract)
         cached objects; pickling copies them on the way to the workers.
+
+        The same entries also persist to disk: ``repro.store.codecs``
+        serializes them (``index_cache_state`` / ``index_cache_from_state``)
+        into the mmap-able snapshot format, and a cache restored from a
+        snapshot keeps exact content-hit and prefix-extend reuse — in this
+        process or any other (pinned by
+        ``tests/store/test_cache_store_roundtrip.py``).
         """
         with self._lock:
             return [

@@ -197,6 +197,33 @@ class PreparedVectors:
         dup._squared_norms = self._squared_norms
         return dup
 
+    @classmethod
+    def from_state(
+        cls,
+        vectors: np.ndarray,
+        metric: str,
+        *,
+        normed: np.ndarray | None = None,
+        squared_norms: np.ndarray | None = None,
+    ) -> "PreparedVectors":
+        """Rehydrate from previously prepared arrays (snapshot restore path).
+
+        The prepared arrays are adopted verbatim — no recomputation — so a
+        restored kernel produces the exact bytes the saved one did even if a
+        future numpy changes how the preparation would reduce.
+        """
+        _check_metric(metric)
+        if (normed is None) == (squared_norms is None):
+            raise ConfigurationError("exactly one of normed/squared_norms must be given")
+        if (normed is None) != (metric != "cosine"):
+            raise ConfigurationError(f"prepared arrays do not match metric {metric!r}")
+        prepared = object.__new__(cls)
+        prepared.metric = metric
+        prepared.vectors = np.asarray(vectors, dtype=np.float32)
+        prepared._normed = normed
+        prepared._squared_norms = squared_norms
+        return prepared
+
     def prepare_queries(self, queries: np.ndarray) -> np.ndarray:
         """Precompute the query-side row statistics (normalization for cosine)."""
         queries = np.asarray(queries, dtype=np.float32)

@@ -101,19 +101,16 @@ class LSHIndex(NearestNeighborIndex):
         flips = np.int64(1) << np.arange(self.num_bits, dtype=np.int64)
         return np.concatenate([signatures[:, None], signatures[:, None] ^ flips[None, :]], axis=1)
 
-    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        self._require_built()
-        if k < 1:
-            raise IndexError_("k must be >= 1")
-        assert self._prepared is not None
-        queries = np.asarray(queries, dtype=np.float32)
-        num_queries = queries.shape[0]
-        indices, distances = engine.alloc_topk(num_queries, k)
-        prepared_queries = self._prepared.prepare_queries(queries)
-        # Batched bucket lookup: one searchsorted per hash table covers every
-        # (query, probe) pair at once; each table's hit bucket slices are then
-        # gathered into one flat (query, node) stream — no per-row Python
-        # slice collection.
+    def _candidate_keys(self, queries: np.ndarray) -> np.ndarray | None:
+        """Raw candidate key stream for a query batch (pre-dedup, non-negative).
+
+        Batched bucket lookup: one searchsorted per hash table covers every
+        (query, probe) pair at once; each table's hit bucket slices are then
+        gathered into one flat (query, node) stream — no per-row Python
+        slice collection. Each (query, node) hit is encoded as the int64 key
+        ``query * num_nodes + node``; the concatenated stream still contains
+        cross-table/cross-probe duplicates (``None`` when nothing hit).
+        """
         num_nodes = np.int64(self._vectors.shape[0])
         key_chunks: list[np.ndarray] = []
         for t in range(self.num_tables):
@@ -130,22 +127,30 @@ class LSHIndex(NearestNeighborIndex):
             if not int(counts.sum()):
                 continue
             candidates = self._bucket_nodes[t][csr_positions(offsets[hit_buckets], counts)]
-            # Encode (query, node) as one int64 key; unique() below both
-            # de-duplicates across tables/probes and sorts candidates per
-            # query ascending — the order np.unique gave the old per-row path.
             key_chunks.append(np.repeat(hit_rows.astype(np.int64), counts) * num_nodes + candidates)
         if not key_chunks:
+            return None
+        return np.concatenate(key_chunks)
+
+    def query(self, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        self._require_built()
+        if k < 1:
+            raise IndexError_("k must be >= 1")
+        assert self._prepared is not None
+        queries = np.asarray(queries, dtype=np.float32)
+        num_queries = queries.shape[0]
+        indices, distances = engine.alloc_topk(num_queries, k)
+        prepared_queries = self._prepared.prepare_queries(queries)
+        keys = self._candidate_keys(queries)
+        if keys is None:
             return indices, distances
-        # Sorted dedup of the key stream. Output-identical to ``np.unique``
-        # (the sorted unique set is algorithm-independent) but pinned to the
-        # sort-based path: numpy >= 2.4 routes plain int64 ``np.unique``
-        # through a hash table that is ~25x slower than one in-place sort at
-        # this stream size, and was the dominant cost of the whole query.
-        keys = np.concatenate(key_chunks)
-        keys.sort()
-        fresh = np.ones(keys.shape[0], dtype=bool)
-        fresh[1:] = keys[1:] != keys[:-1]
-        keys = keys[fresh]
+        # Sorted dedup of the key stream — the native radix kernel when
+        # available, one in-place sort + mask otherwise. Output-identical to
+        # ``np.unique`` (the sorted unique set is algorithm-independent), but
+        # never numpy >= 2.4's hash-based ``np.unique`` path, which is ~25x
+        # slower at this stream size and dominated the whole query.
+        keys = engine.dedup_sorted_keys(keys, use_native=self._use_native)
+        num_nodes = np.int64(self._vectors.shape[0])
         # Decoded keys are (query, node) sorted lexicographically, so the
         # flat candidate array is already a per-query CSR stream with each
         # segment's candidates ascending — exactly the engine's contract.
@@ -163,3 +168,59 @@ class LSHIndex(NearestNeighborIndex):
             use_native=self._use_native,
         )
         return indices, distances
+
+    # --------------------------------------------------------------- snapshot
+    def snapshot_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """State bundle for :mod:`repro.store`: JSON-able meta + named arrays.
+
+        Saves the hyperplanes and CSR bucket tables verbatim (they are
+        derived from the seed, but storing the bytes keeps restored probes
+        exact under any future RNG change) plus the prepared distance arrays.
+        """
+        if self._vectors is None:
+            raise IndexError_("cannot snapshot an unbuilt index")
+        assert self._prepared is not None
+        arrays: dict[str, np.ndarray] = {"vectors": self._prepared.vectors}
+        if self.metric == "cosine":
+            arrays["normed"] = self._prepared._normed
+        else:
+            arrays["squared_norms"] = self._prepared._squared_norms
+        for t in range(self.num_tables):
+            arrays[f"table{t}/planes"] = self._planes[t]
+            arrays[f"table{t}/signatures"] = self._bucket_signatures[t]
+            arrays[f"table{t}/offsets"] = self._bucket_offsets[t]
+            arrays[f"table{t}/nodes"] = self._bucket_nodes[t]
+        meta = {
+            "backend": "lsh",
+            "metric": self.metric,
+            "num_tables": self.num_tables,
+            "num_bits": self.num_bits,
+            "probe_neighbors": self.probe_neighbors,
+            "seed": self.seed,
+        }
+        return meta, arrays
+
+    @classmethod
+    def from_snapshot_state(cls, meta: dict, arrays: dict[str, np.ndarray]) -> "LSHIndex":
+        """Rebuild an index from :meth:`snapshot_state` output (arrays adopted as-is)."""
+        index = cls(
+            metric=meta["metric"],
+            num_tables=meta["num_tables"],
+            num_bits=meta["num_bits"],
+            probe_neighbors=meta["probe_neighbors"],
+            seed=meta["seed"],
+        )
+        index._prepared = PreparedVectors.from_state(
+            arrays["vectors"],
+            meta["metric"],
+            normed=arrays.get("normed"),
+            squared_norms=arrays.get("squared_norms"),
+        )
+        index._vectors = index._prepared.vectors
+        index._planes = [arrays[f"table{t}/planes"] for t in range(meta["num_tables"])]
+        index._bucket_signatures = [
+            arrays[f"table{t}/signatures"] for t in range(meta["num_tables"])
+        ]
+        index._bucket_offsets = [arrays[f"table{t}/offsets"] for t in range(meta["num_tables"])]
+        index._bucket_nodes = [arrays[f"table{t}/nodes"] for t in range(meta["num_tables"])]
+        return index

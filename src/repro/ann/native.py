@@ -71,9 +71,12 @@ class NativeKernel:
             vp, vp, i64, i32, vp, vp, i64, vp, vp, i64, vp, vp,
         ]
         lib.ann_rerank_csr.restype = i32
+        lib.ann_dedup_i64.argtypes = [vp, i64]
+        lib.ann_dedup_i64.restype = i64
         self.build = lib.hnsw_build
         self.query = lib.hnsw_query
         self.rerank = lib.ann_rerank_csr
+        self.dedup = lib.ann_dedup_i64
 
     @staticmethod
     def pointer_array(arrays: list) -> "ctypes.Array[ctypes.c_void_p]":
@@ -232,6 +235,21 @@ def _self_test() -> str | None:
             n_idx, n_dist = index.query(lsh_queries, 5)
             if not np.array_equal(p_idx, n_idx) or p_dist.tobytes() != n_dist.tobytes():
                 return f"{metric}: LSH re-rank (probe_neighbors={probe_neighbors}) diverged"
+    # Radix dedup: the native sorted-unique must match numpy's on duplicate-
+    # heavy, single-value, and large-key streams (all non-negative).
+    from . import engine
+
+    dedup_cases = [
+        rng.integers(0, 40, size=257).astype(np.int64),
+        np.zeros(31, dtype=np.int64),
+        rng.integers(0, np.int64(2) ** 62, size=300, dtype=np.int64),
+        np.array([5], dtype=np.int64),
+    ]
+    for case in dedup_cases:
+        expected = np.unique(case)
+        got = engine.dedup_sorted_keys(case.copy(), use_native=True)
+        if not np.array_equal(got, expected):
+            return "radix dedup diverged from sorted unique"
     return None
 
 

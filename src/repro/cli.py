@@ -6,7 +6,13 @@ Subcommands:
 * ``match``    — run MultiEM on a benchmark name or a dataset directory and
   write the predicted groups as JSON;
 * ``evaluate`` — score a predictions file against a labeled dataset;
-* ``report``   — regenerate one of the paper's tables (3, 4, 5, 6, 7).
+* ``report``   — regenerate one of the paper's tables (3, 4, 5, 6, 7);
+* ``snapshot save`` — fit the incremental matcher and write its complete
+  state as a zero-copy snapshot (:mod:`repro.store`);
+* ``snapshot load`` — open a snapshot (memory-mapped by default), verify its
+  recorded digests, and print a summary;
+* ``serve-match`` — restore a snapshot and fold one new source table into it
+  without refitting (the load-and-serve path).
 
 Examples::
 
@@ -14,6 +20,9 @@ Examples::
     python -m repro.cli match ./music20 --output predictions.json
     python -m repro.cli evaluate ./music20 predictions.json
     python -m repro.cli report table7 --datasets geo music-20 --profile tiny
+    python -m repro.cli snapshot save ./music20 --exclude tableA --output fit.snap
+    python -m repro.cli snapshot load fit.snap
+    python -m repro.cli serve-match fit.snap ./music20 --table tableA --output preds.json
 """
 
 from __future__ import annotations
@@ -110,6 +119,74 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    from .core.incremental import IncrementalMultiEM
+
+    dataset = _load_any_dataset(args.dataset, args.profile, args.seed)
+    if args.exclude:
+        missing = sorted(set(args.exclude) - set(dataset.tables))
+        if missing:
+            raise ReproError(f"--exclude names unknown tables {missing}")
+        keep = [name for name in sorted(dataset.tables) if name not in set(args.exclude)]
+        if not keep:
+            raise ReproError("--exclude removed every table; nothing to fit")
+        dataset = dataset.subset(keep, name=dataset.name)
+    config = paper_default_config(dataset.name, parallel=args.parallel)
+    with IncrementalMultiEM(config) as matcher:
+        result = matcher.fit(dataset)
+        digests = matcher.save(args.output)
+    size = Path(args.output).stat().st_size
+    print(f"fitted {len(matcher.known_sources)} sources, {result.num_tuples} predicted tuples")
+    print(f"snapshot written to {args.output} ({size} bytes)")
+    print(f"item-table digest:      {digests['item_table']}")
+    print(f"embedding-store digest: {digests['embedding_store']}")
+    return 0
+
+
+def _cmd_snapshot_load(args: argparse.Namespace) -> int:
+    from .store import MatchSession, Snapshot
+    from .store.codecs import embedding_store_digest, item_table_digest
+
+    snapshot = Snapshot.open(args.snapshot, mmap=not args.copy)
+    names = snapshot.names()
+    payload = snapshot.total_bytes()
+    session = MatchSession.from_snapshot(snapshot)
+    matcher = session.matcher
+    table = matcher.integrated_table
+    mode = "copy" if args.copy else "mmap (zero-copy)"
+    print(f"snapshot {args.snapshot}: {len(names)} arrays, {payload} payload bytes, {mode}")
+    print(f"sources ({len(matcher.known_sources)}): {', '.join(matcher.known_sources)}")
+    print(f"integrated items: {len(table)}   schema: {', '.join(matcher._schema)}")
+    print(f"item-table digest:      {item_table_digest(table)} (verified)")
+    print(f"embedding-store digest: {embedding_store_digest(matcher._store)} (verified)")
+    session.close()
+    return 0
+
+
+def _cmd_serve_match(args: argparse.Namespace) -> int:
+    from .store import MatchSession
+
+    dataset = _load_any_dataset(args.dataset, args.profile, args.seed)
+    table = dataset.tables.get(args.table)
+    if table is None:
+        raise ReproError(f"dataset has no table {args.table!r}; choose from {sorted(dataset.tables)}")
+    with MatchSession.load(args.snapshot, mmap=not args.copy) as session:
+        if args.table in session.known_sources:
+            raise ReproError(f"source {args.table!r} is already part of the snapshot")
+        result = session.match_new_table(table)
+        print(f"merged {args.table!r} into {len(session.known_sources) - 1} restored sources")
+        print(f"predicted tuples: {result.num_tuples}")
+        if args.output:
+            Path(args.output).write_text(
+                json.dumps(refs_to_json(result.tuples), indent=2), encoding="utf-8"
+            )
+            print(f"predictions written to {args.output}")
+        if dataset.ground_truth:
+            report = evaluate_tuples(result.tuples, dataset, method="MultiEM (served)")
+            print(f"tuple F1 = {report.f1:.1f}   pair-F1 = {report.pair_f1:.1f}")
+    return 0
+
+
 # --------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -146,6 +223,39 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--datasets", nargs="+", default=["geo", "music-20"])
     report.add_argument("--profile", default="tiny", choices=("tiny", "bench", "paper"))
     report.set_defaults(func=_cmd_report)
+
+    snapshot = sub.add_parser("snapshot", help="save or inspect fitted pipeline snapshots")
+    snapshot_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+    snap_save = snapshot_sub.add_parser("save", help="fit a dataset and snapshot the state")
+    snap_save.add_argument("dataset", help="benchmark name or dataset directory")
+    snap_save.add_argument("--profile", default="tiny", choices=("tiny", "bench", "paper"))
+    snap_save.add_argument("--seed", type=int, default=0)
+    snap_save.add_argument("--parallel", action="store_true")
+    snap_save.add_argument(
+        "--exclude", action="append", default=[], metavar="TABLE",
+        help="leave this source table out of the fit (repeatable); "
+        "fold it back later with serve-match",
+    )
+    snap_save.add_argument("--output", required=True, help="snapshot file to write")
+    snap_save.set_defaults(func=_cmd_snapshot_save)
+    snap_load = snapshot_sub.add_parser("load", help="open a snapshot and verify its digests")
+    snap_load.add_argument("snapshot", help="snapshot file written by `snapshot save`")
+    snap_load.add_argument("--copy", action="store_true",
+                           help="materialize arrays instead of memory-mapping them")
+    snap_load.set_defaults(func=_cmd_snapshot_load)
+
+    serve = sub.add_parser(
+        "serve-match", help="restore a snapshot and merge one new table without refitting"
+    )
+    serve.add_argument("snapshot", help="snapshot file written by `snapshot save`")
+    serve.add_argument("dataset", help="benchmark name or dataset directory holding the new table")
+    serve.add_argument("--table", required=True, help="name of the table to fold in")
+    serve.add_argument("--profile", default="tiny", choices=("tiny", "bench", "paper"))
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--copy", action="store_true",
+                       help="materialize arrays instead of memory-mapping them")
+    serve.add_argument("--output", default=None, help="write predicted groups to this JSON file")
+    serve.set_defaults(func=_cmd_serve_match)
     return parser
 
 

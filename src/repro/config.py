@@ -172,12 +172,20 @@ class ParallelConfig:
             default). ``False`` restores the historical spin-up-per-call
             behaviour — only useful as the baseline in the pool-reuse
             benchmark.
+        shared_memory: with the process backend, ship merge/prune task
+            arrays through a shared-memory plane
+            (:mod:`repro.store.plane`) instead of pickling them through the
+            pool's pipes — workers receive integer descriptors and attach
+            zero-copy views. Bit-identical to the pickle dispatch; ignored
+            by the serial and thread backends (and on platforms without
+            POSIX shared memory).
     """
 
     enabled: bool = False
     backend: str = "thread"
     max_workers: int | None = None
     reuse_pool: bool = True
+    shared_memory: bool = False
 
     def validate(self) -> None:
         if self.backend not in ("thread", "process", "serial"):

@@ -130,6 +130,72 @@ class IncrementalMultiEM:
         """Names of the sources merged so far, sorted."""
         return tuple(sorted(self._known_sources))
 
+    @property
+    def integrated_table(self) -> ItemTable:
+        """The current integrated item table (flat form, read-only by contract)."""
+        return self._table
+
+    # --------------------------------------------------------------- snapshot
+    def save(self, path) -> dict:
+        """Snapshot the fitted state to ``path`` (see :mod:`repro.store`).
+
+        Returns the digest record the snapshot stores; load it back with
+        :meth:`repro.store.MatchSession.load` (serving) or
+        :func:`repro.store.load_matcher` (full matcher, ``add_table`` ready).
+        """
+        from ..store.session import save_session
+
+        return save_session(self, path)
+
+    def snapshot_state(self) -> dict:
+        """The complete fitted state, as one documented bundle.
+
+        Consumed by :mod:`repro.store.session`; every value is either a
+        config object, a flat-array structure with its own codec, or a plain
+        JSON-able scalar/sequence.
+        """
+        if not self.is_fitted:
+            raise DataError("cannot snapshot an unfitted matcher; call fit() first")
+        return {
+            "config": self.config,
+            "encoder": self._representer.encoder if self._representer else None,
+            "attributes": self._attributes,
+            "schema": self._schema,
+            "table": self._table,
+            "store": self._store,
+            "known_sources": sorted(self._known_sources),
+            "index_cache": self._index_cache,
+        }
+
+    @classmethod
+    def from_snapshot_state(
+        cls,
+        *,
+        config: MultiEMConfig,
+        encoder,
+        attributes: tuple[str, ...],
+        schema: tuple[str, ...],
+        table: ItemTable,
+        store: EmbeddingStore,
+        known_sources,
+        index_cache: IndexCache | None,
+    ) -> "IncrementalMultiEM":
+        """Rehydrate a fitted matcher from restored state (snapshot load path).
+
+        ``encoder`` is the restored *inner* sentence encoder; the representer
+        re-wraps it in its caching layer exactly as :meth:`fit` would have.
+        """
+        matcher = cls(config)
+        matcher._representer = EntityRepresenter(config.representation, encoder=encoder)
+        matcher._representer._fitted = True
+        matcher._attributes = tuple(attributes)
+        matcher._schema = tuple(schema)
+        matcher._table = table
+        matcher._store = store
+        matcher._known_sources = set(known_sources)
+        matcher._index_cache = index_cache
+        return matcher
+
     # -------------------------------------------------------------- teardown
     def close(self) -> None:
         """Release the persistent worker pool (idempotent).

@@ -105,6 +105,22 @@ class ParallelExecutor:
         """Whether parallel calls cross a process boundary (tasks must pickle)."""
         return self.is_parallel and self.config.backend == "process"
 
+    @property
+    def uses_shared_memory(self) -> bool:
+        """Whether process dispatch should ship arrays via shared-memory planes.
+
+        True only for the process backend with
+        ``ParallelConfig.shared_memory`` set on a platform that has POSIX
+        shared memory; callers then pack task arrays into a
+        :class:`repro.store.plane.TaskPlane` and dispatch descriptors. The
+        dispatch is bit-identical to the pickle path either way.
+        """
+        if not (self.uses_processes and self.config.shared_memory):
+            return False
+        from ..store import plane
+
+        return plane.available()
+
     def attach_index_cache(self, cache: "IndexCache | None") -> None:
         """Register the cache whose snapshot seeds process workers.
 

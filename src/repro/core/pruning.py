@@ -254,6 +254,51 @@ def _prune_payload_task(payload: tuple) -> list[MergeItem]:
     return _assemble_survivors(chunk, member_matrix, offsets, config)
 
 
+def _prune_payload_shm_task(task: tuple) -> list[MergeItem]:
+    """Classify one candidate chunk whose arrays live in a shared-memory plane.
+
+    The heavy payload — the gathered member matrix — is read as a zero-copy
+    view over the parent's request plane; only the (small) chunk item list
+    and config ride the pickle pipe. Classification math is byte-identical
+    to :func:`_prune_payload_task` on the same bytes, and the returned
+    survivors never alias the plane (rebuilt vectors are fresh arrays,
+    untouched tuples keep the pickled chunk's own vectors).
+    """
+    from ..store import plane as plane_mod
+
+    plane_name, index, chunk, config = task
+    plane = plane_mod.worker_plane(plane_name)
+    member_matrix = plane.array(f"t{index}/member_matrix")
+    offsets = plane.array(f"t{index}/offsets")
+    return _assemble_survivors(chunk, member_matrix, offsets, config)
+
+
+def _map_prune_payloads(executor: ParallelExecutor, payloads: list[tuple]) -> list[list[MergeItem]]:
+    """Dispatch ``(chunk, matrix, offsets, config)`` payloads to process workers.
+
+    Shared-memory mode ships each payload's arrays through one
+    :class:`repro.store.plane.TaskPlane` per call and sends descriptors;
+    otherwise the whole payload is pickled. Output is identical either way.
+    """
+    if executor.uses_shared_memory and len(payloads) > 1:
+        from ..store import plane as plane_mod
+
+        plane = plane_mod.TaskPlane(
+            [{"member_matrix": matrix, "offsets": offsets} for _, matrix, offsets, _ in payloads]
+        )
+        try:
+            return executor.map(
+                _prune_payload_shm_task,
+                [
+                    (plane.name, i, chunk, config)
+                    for i, (chunk, _, _, config) in enumerate(payloads)
+                ],
+            )
+        finally:
+            plane.close()
+    return executor.map(_prune_payload_task, payloads)
+
+
 def prune_items(
     items: list[MergeItem],
     embedding_lookup: Mapping[EntityRef, np.ndarray],
@@ -281,7 +326,7 @@ def prune_items(
             payloads = [
                 (chunk, *_gather_chunk(chunk, embedding_lookup), config) for chunk in chunks
             ]
-            results = executor.map(_prune_payload_task, payloads)
+            results = _map_prune_payloads(executor, payloads)
         else:
             results = executor.map(
                 lambda chunk: _prune_chunk(chunk, embedding_lookup, config), chunks
@@ -324,7 +369,7 @@ def prune_item_table(
         payloads = [
             (*_table_chunk_payload(candidates, store, rows, refs, b), config) for b in bounds
         ]
-        mapped = executor.map(_prune_payload_task, payloads)
+        mapped = _map_prune_payloads(executor, payloads)
     else:
         mapped = executor.map(
             lambda chunk_bounds: _prune_table_chunk(

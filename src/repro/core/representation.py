@@ -145,6 +145,29 @@ class EmbeddingStore(Mapping):
             self._packed_blocks = num_blocks
         return matrix
 
+    # --------------------------------------------------------------- snapshot
+    def blocks(self) -> "dict[str, np.ndarray]":
+        """Per-source embedding matrices in registration order (shared, not copied)."""
+        return dict(self._blocks)
+
+    @classmethod
+    def from_blocks(cls, blocks: "dict[str, np.ndarray]") -> "EmbeddingStore":
+        """Rebuild a store from :meth:`blocks` output (snapshot restore path).
+
+        Registration order follows the dict order; matrices are adopted as-is
+        (possibly read-only memory-mapped views — the store never mutates a
+        registered block, only copies out of it when folding).
+        """
+        store = cls()
+        for name, matrix in blocks.items():
+            matrix = np.asarray(matrix)
+            if matrix.ndim != 2:
+                raise DataError(f"embedding block {name!r} must be 2-d, got {matrix.ndim}-d")
+            if name in store._blocks:
+                raise DataError(f"source {name!r} is already registered in the embedding store")
+            store._blocks[name] = matrix
+        return store
+
     # ------------------------------------------------------- row resolution
     def rows(self, refs: Sequence[EntityRef]) -> np.ndarray:
         """Row indices into :attr:`matrix` for a batch of refs."""

@@ -29,6 +29,11 @@ class IndexError_(ReproError):
     """An ANN index was queried before being built, or with bad parameters."""
 
 
+class StoreError(ReproError):
+    """A snapshot could not be written, parsed, or restored (bad magic,
+    unsupported format version, truncated buffer, or unsupported object)."""
+
+
 class EvaluationError(ReproError):
     """Ground truth and predictions cannot be compared (e.g. unknown entity refs)."""
 

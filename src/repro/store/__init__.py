@@ -1,0 +1,50 @@
+"""Zero-copy persistence: snapshots, shared-memory planes, load-and-serve.
+
+Everything the pipeline fits lives in flat numpy arrays (PR 2-4); this
+package makes those arrays *move* without serialization:
+
+* :mod:`repro.store.format` — the snapshot container: one buffer (file or
+  shared-memory segment) holding a magic + version header, 64-byte-aligned
+  raw array segments, and a trailing JSON manifest. ``Snapshot.open(path,
+  mmap=True)`` returns arrays that are read-only views over the mapped file
+  — zero copies; ``mmap=False`` materializes independent copies. The header
+  carries a single integer format version (currently 1); readers reject any
+  other version, additive manifest keys don't bump it (see the module
+  docstring for the full policy).
+* :mod:`repro.store.codecs` — ``(meta, arrays)`` state bundles for the
+  flat-array core types: :class:`~repro.core.merging.ItemTable`,
+  :class:`~repro.core.representation.EmbeddingStore`, all three ANN indexes
+  (HNSW snapshots include adjacency CSR, prepared distance arrays, and the
+  level-RNG state, so ``extend`` after a load continues the exact stream),
+  :class:`~repro.ann.cache.IndexCache` contents, fitted encoders, and the
+  pipeline config. Restores adopt the stored bytes verbatim — nothing is
+  recomputed — which is what makes save → load → continue byte-identical.
+* :mod:`repro.store.plane` — shared-memory task planes for
+  ``MultiEM(parallel)``'s process backend
+  (``ParallelConfig.shared_memory=True``): one segment per ``map`` call
+  carries every task's arrays as a snapshot buffer, workers attach zero-copy
+  views and receive only integer descriptors, and array-heavy results come
+  back through response segments — no pickled :class:`ItemTable` in either
+  direction, bit-identical output to the pickle dispatch.
+* :mod:`repro.store.session` — :func:`save_session` /
+  :class:`MatchSession`: snapshot a fitted
+  :class:`~repro.core.incremental.IncrementalMultiEM` once, then serve
+  ``match_new_table`` and nearest-tuple ``query`` calls from a cold process
+  without refitting anything; content digests recorded at save time are
+  verified on load.
+
+CLI: ``python -m repro.cli snapshot save|load`` and ``serve-match``
+exercise the same paths end to end.
+"""
+
+from .format import FORMAT_VERSION, Snapshot, SnapshotWriter
+from .session import MatchSession, load_matcher, save_session
+
+__all__ = [
+    "FORMAT_VERSION",
+    "Snapshot",
+    "SnapshotWriter",
+    "MatchSession",
+    "load_matcher",
+    "save_session",
+]

@@ -1,0 +1,337 @@
+"""State codecs: flat-array core objects ↔ snapshot (meta, arrays) bundles.
+
+Every codec is a pure pair of functions::
+
+    *_state(obj)            -> (meta, {relative_name: ndarray})
+    *_from_state(meta, arrays)
+
+where ``meta`` is a JSON-serializable tree and the arrays dict holds raw
+numpy buffers. :func:`pack` / :func:`unpack` shuttle a bundle into / out of a
+:class:`~repro.store.format.SnapshotWriter` / ``Snapshot`` under a name
+prefix (the array-name list rides in the meta under ``"__arrays__"``), so
+bundles nest — an :class:`~repro.ann.cache.IndexCache` entry embeds a whole
+index bundle under an ``e{i}/index/`` prefix.
+
+Restored arrays are adopted **verbatim** (zero-copy when the snapshot is
+memory-mapped): a loaded object computes the exact bytes the saved one did
+because nothing is recomputed — prepared distance kernels, CSR bucket
+tables, and RNG states all round-trip as raw state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Mapping
+
+import numpy as np
+
+from ..ann.brute_force import BruteForceIndex
+from ..ann.cache import IndexCache
+from ..ann.hnsw import HNSWIndex
+from ..ann.lsh import LSHIndex
+from ..config import (
+    MergingConfig,
+    MultiEMConfig,
+    ParallelConfig,
+    PruningConfig,
+    RepresentationConfig,
+)
+from ..core.merging import ItemTable
+from ..core.representation import EmbeddingStore
+from ..exceptions import StoreError
+from .format import (
+    Snapshot,
+    SnapshotWriter,
+    string_table_arrays,
+    strings_from_arrays,
+    tag_tuples,
+    untag_tuples,
+)
+
+
+# ------------------------------------------------------------------- plumbing
+def pack(writer: SnapshotWriter, prefix: str, state) -> dict:
+    """Write a ``(meta, arrays)`` bundle under ``prefix``; returns the meta."""
+    meta, arrays = state
+    meta = dict(meta)
+    meta["__arrays__"] = list(arrays)
+    for name, array in arrays.items():
+        writer.add_array(prefix + name, array)
+    return meta
+
+
+def unpack(snapshot: Snapshot, prefix: str, meta: dict) -> "dict[str, np.ndarray]":
+    """Read back the arrays of a bundle written by :func:`pack`."""
+    return {name: snapshot.array(prefix + name) for name in meta["__arrays__"]}
+
+
+def _prefixed(prefix: str, arrays: "Mapping[str, np.ndarray]") -> "dict[str, np.ndarray]":
+    return {prefix + name: array for name, array in arrays.items()}
+
+
+# ------------------------------------------------------------------ ItemTable
+def item_table_state(table: ItemTable):
+    """State bundle of a flat merge-item table."""
+    return (
+        {"type": "item_table", "sources": list(table.sources)},
+        {
+            "vectors": table.vectors,
+            "member_sources": table.member_sources,
+            "member_indices": table.member_indices,
+            "member_offsets": table.member_offsets,
+        },
+    )
+
+
+def item_table_from_state(meta: dict, arrays: "Mapping[str, np.ndarray]") -> ItemTable:
+    return ItemTable(
+        arrays["vectors"],
+        arrays["member_sources"],
+        arrays["member_indices"],
+        arrays["member_offsets"],
+        tuple(meta["sources"]),
+    )
+
+
+# ------------------------------------------------------------- EmbeddingStore
+def embedding_store_state(store: EmbeddingStore):
+    """State bundle of the flat embedding column store (one block per source)."""
+    blocks = store.blocks()
+    arrays = {f"block{i}": matrix for i, matrix in enumerate(blocks.values())}
+    return {"type": "embedding_store", "tables": list(blocks)}, arrays
+
+
+def embedding_store_from_state(meta: dict, arrays: "Mapping[str, np.ndarray]") -> EmbeddingStore:
+    return EmbeddingStore.from_blocks(
+        {name: arrays[f"block{i}"] for i, name in enumerate(meta["tables"])}
+    )
+
+
+# -------------------------------------------------------------------- indexes
+_INDEX_TYPES = {"hnsw": HNSWIndex, "lsh": LSHIndex, "brute-force": BruteForceIndex}
+
+
+def index_state(index):
+    """State bundle of any snapshot-capable ANN index."""
+    snapshot_state = getattr(index, "snapshot_state", None)
+    if snapshot_state is None:
+        raise StoreError(f"index type {type(index).__name__} does not support snapshots")
+    return snapshot_state()
+
+
+def index_from_state(meta: dict, arrays: "Mapping[str, np.ndarray]"):
+    cls = _INDEX_TYPES.get(meta.get("backend"))
+    if cls is None:
+        raise StoreError(f"unknown index backend {meta.get('backend')!r} in snapshot")
+    return cls.from_snapshot_state(meta, dict(arrays))
+
+
+# ----------------------------------------------------------------- IndexCache
+def index_cache_state(cache: IndexCache):
+    """State bundle of an index cache — entries in LRU order (oldest first).
+
+    ``params_key`` tuples are JSON-tagged so they restore as *tuples* and
+    hash-compare equal to the keys future lookups construct at runtime.
+    """
+    entries_meta = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, (params_key, vectors, index) in enumerate(cache.snapshot()):
+        index_meta, index_arrays = index_state(index)
+        index_meta = dict(index_meta)
+        index_meta["__arrays__"] = list(index_arrays)
+        arrays[f"e{i}/vectors"] = vectors
+        arrays.update(_prefixed(f"e{i}/index/", index_arrays))
+        entries_meta.append({"params_key": tag_tuples(params_key), "index": index_meta})
+    return (
+        {"type": "index_cache", "max_entries": cache.max_entries, "entries": entries_meta},
+        arrays,
+    )
+
+
+def index_cache_from_state(meta: dict, arrays: "Mapping[str, np.ndarray]") -> IndexCache:
+    cache = IndexCache(max_entries=meta["max_entries"])
+    entries = []
+    for i, entry_meta in enumerate(meta["entries"]):
+        index_meta = entry_meta["index"]
+        index_arrays = {
+            name: arrays[f"e{i}/index/{name}"] for name in index_meta["__arrays__"]
+        }
+        entries.append(
+            (
+                untag_tuples(entry_meta["params_key"]),
+                arrays[f"e{i}/vectors"],
+                index_from_state(index_meta, index_arrays),
+            )
+        )
+    cache.seed(entries)
+    return cache
+
+
+# ------------------------------------------------------------------- encoders
+def encoder_state(encoder):
+    """State bundle of a fitted sentence encoder.
+
+    Accepts the pipeline's :class:`~repro.embedding.cache.CachingEncoder`
+    wrapper (unwrapped transparently — the exact-text cache is a rebuildable
+    optimization, not state) around either from-scratch encoder.
+    """
+    from ..embedding import CachingEncoder, HashedNGramEncoder
+    from ..embedding.svd import TfidfSvdEncoder
+
+    if isinstance(encoder, CachingEncoder):
+        encoder = encoder.inner
+    if isinstance(encoder, HashedNGramEncoder):
+        meta = {
+            "type": "encoder",
+            "kind": "hashed-ngram",
+            "dimension": encoder.dimension,
+            "ngram_range": list(encoder.ngram_range),
+            "max_tokens": encoder.max_tokens,
+            "token_weight": encoder.token_weight,
+            "use_idf": encoder.use_idf,
+            "numeric_weight_floor": encoder.numeric_weight_floor,
+            "seed": encoder.seed,
+            "vocabulary": None,
+        }
+        arrays: dict[str, np.ndarray] = {}
+        vocabulary = encoder._vocabulary
+        if vocabulary is not None:
+            tokens = sorted(vocabulary.token_to_index, key=vocabulary.token_to_index.get)
+            meta["vocabulary"] = {"num_documents": vocabulary.num_documents}
+            arrays.update(_prefixed("vocab/tokens", string_table_arrays(tokens)))
+            arrays["vocab/df"] = np.fromiter(
+                (vocabulary.document_frequency[token] for token in tokens),
+                dtype=np.int64,
+                count=len(tokens),
+            )
+        return meta, arrays
+    if isinstance(encoder, TfidfSvdEncoder):
+        vectorizer = encoder._vectorizer
+        if encoder._basis is None and encoder._projection is None:
+            raise StoreError("cannot snapshot an unfitted TfidfSvdEncoder")
+        terms = sorted(vectorizer.vocabulary_, key=vectorizer.vocabulary_.get)
+        meta = {
+            "type": "encoder",
+            "kind": "tfidf-svd",
+            "dimension": encoder.dimension,
+            "seed": encoder.seed,
+            "analyzer": vectorizer.analyzer,
+            "min_df": vectorizer.min_df,
+            "ngram_range": list(vectorizer.ngram_range),
+            "projection_features": (
+                None if encoder._projection is None else encoder._projection._input_dim
+            ),
+        }
+        arrays = dict(_prefixed("terms", string_table_arrays(terms)))
+        arrays["idf"] = vectorizer.idf_
+        if encoder._basis is not None:
+            arrays["basis"] = encoder._basis
+        return meta, arrays
+    raise StoreError(f"encoder type {type(encoder).__name__} does not support snapshots")
+
+
+def encoder_from_state(meta: dict, arrays: "Mapping[str, np.ndarray]"):
+    from ..embedding import HashedNGramEncoder
+    from ..embedding.svd import TfidfSvdEncoder
+
+    if meta["kind"] == "hashed-ngram":
+        encoder = HashedNGramEncoder(
+            dimension=meta["dimension"],
+            ngram_range=tuple(meta["ngram_range"]),
+            max_tokens=meta["max_tokens"],
+            token_weight=meta["token_weight"],
+            use_idf=meta["use_idf"],
+            numeric_weight_floor=meta["numeric_weight_floor"],
+            seed=meta["seed"],
+        )
+        if meta["vocabulary"] is not None:
+            from collections import Counter
+
+            from ..text.vocab import Vocabulary
+
+            tokens = strings_from_arrays(arrays, "vocab/tokens")
+            df = arrays["vocab/df"].tolist()
+            encoder._vocabulary = Vocabulary(
+                token_to_index={token: i for i, token in enumerate(tokens)},
+                document_frequency=Counter(dict(zip(tokens, df))),
+                num_documents=meta["vocabulary"]["num_documents"],
+            )
+        return encoder
+    if meta["kind"] == "tfidf-svd":
+        encoder = TfidfSvdEncoder(
+            dimension=meta["dimension"],
+            analyzer=meta["analyzer"],
+            ngram_range=tuple(meta["ngram_range"]),
+            min_df=meta["min_df"],
+            seed=meta["seed"],
+        )
+        terms = strings_from_arrays(arrays, "terms")
+        encoder._vectorizer.vocabulary_ = {term: i for i, term in enumerate(terms)}
+        encoder._vectorizer.idf_ = arrays["idf"]
+        if meta["projection_features"] is not None:
+            from ..embedding.random_projection import GaussianRandomProjection
+
+            encoder._projection = GaussianRandomProjection(meta["dimension"], seed=meta["seed"])
+            encoder._projection.fit(meta["projection_features"])
+            encoder._basis = None
+        else:
+            encoder._basis = arrays["basis"]
+            encoder._projection = None
+        return encoder
+    raise StoreError(f"unknown encoder kind {meta['kind']!r} in snapshot")
+
+
+# --------------------------------------------------------------------- config
+def config_to_meta(config: MultiEMConfig) -> dict:
+    """JSON tree of a pipeline config (tuples are only in per-field defaults)."""
+    return asdict(config)
+
+
+def config_from_meta(meta: dict) -> MultiEMConfig:
+    config = MultiEMConfig(
+        representation=RepresentationConfig(**meta["representation"]),
+        merging=MergingConfig(**meta["merging"]),
+        pruning=PruningConfig(**meta["pruning"]),
+        parallel=ParallelConfig(**meta["parallel"]),
+    )
+    config.validate()
+    return config
+
+
+# -------------------------------------------------------------------- digests
+def arrays_digest(arrays: "Mapping[str, np.ndarray]", *labels: str) -> str:
+    """BLAKE2b content digest over named arrays (shape + dtype + raw bytes)."""
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=16)
+    for label in labels:
+        digest.update(label.encode())
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode())
+        digest.update(str(array.shape).encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def item_table_digest(table: ItemTable) -> str:
+    """Content digest of a flat item table (vectors + members + sources)."""
+    meta, arrays = item_table_state(table)
+    return arrays_digest(arrays, *meta["sources"])
+
+
+def embedding_store_digest(store: EmbeddingStore) -> str:
+    """Content digest of an embedding store (per-source blocks, in order)."""
+    meta, arrays = embedding_store_state(store)
+    return arrays_digest(arrays, *meta["tables"])
+
+
+def tuples_digest(tuples) -> str:
+    """Order-independent digest of predicted match tuples."""
+    import hashlib
+
+    canonical = sorted(
+        ",".join(f"{ref.source}:{ref.index}" for ref in sorted(group)) for group in tuples
+    )
+    return hashlib.blake2b("|".join(canonical).encode(), digest_size=16).hexdigest()

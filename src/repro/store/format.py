@@ -1,0 +1,430 @@
+"""Versioned, memory-mappable snapshot container (header + aligned segments + JSON manifest).
+
+One snapshot is a single buffer (a file on disk or a shared-memory segment)
+laid out arrow-style::
+
+    offset 0   magic  b"REPROSNP"
+    offset 8   uint64 format version (little-endian)
+    offset 16  uint64 manifest offset
+    offset 24  uint64 manifest length
+    offset 64  raw array segments, each aligned to a 64-byte boundary
+    ...
+    manifest   UTF-8 JSON: {"arrays": {name: {dtype, shape, offset, nbytes}},
+                            "meta": <caller-supplied JSON tree>}
+
+Arrays are stored as raw C-contiguous bytes, so a reader can hand back numpy
+views *directly over the mapped buffer* — ``Snapshot.open(path, mmap=True)``
+and ``Snapshot.from_buffer(buf)`` perform zero copies; the returned arrays
+are marked read-only because they alias storage another process (or a later
+writer) may own. ``mmap=False`` / ``copy=True`` materialize independent
+writable arrays instead.
+
+Format version policy
+---------------------
+
+The header carries a single integer **format version** (currently
+``FORMAT_VERSION = 1``). Readers refuse any other version outright — raw
+buffer layouts cannot be sniffed safely. Additive changes (new manifest meta
+keys, new array names) do **not** bump the version; any change to the
+header, alignment, segment encoding, or the meaning of existing manifest
+fields must.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import mmap as mmap_module
+import os
+import struct
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..exceptions import StoreError
+
+
+@contextlib.contextmanager
+def atomic_output(path: str | os.PathLike, mode: str = "wb"):
+    """Open a sibling temp file; publish it over ``path`` only on success.
+
+    The write-temp + ``os.replace`` idiom shared by snapshot saves and the
+    benchmark JSON trail: an interrupted writer can never leave a truncated
+    file behind — the previous contents survive untouched and the temp file
+    is removed.
+    """
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, mode) as handle:
+            yield handle
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+MAGIC = b"REPROSNP"
+FORMAT_VERSION = 1
+_ALIGNMENT = 64
+_HEADER = struct.Struct("<8sQQQ")  # magic, version, manifest offset, manifest length
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+class SnapshotWriter:
+    """Collects named arrays plus a JSON meta tree, then writes one snapshot.
+
+    Arrays are canonicalized to C-contiguous on :meth:`add_array` (a copy only
+    when the input was non-contiguous); the writer holds references until the
+    snapshot is written, so add-then-mutate is not supported. The same writer
+    can target a file (:meth:`save`) or any writable buffer of
+    :meth:`required_size` bytes (:meth:`write_into`) — the latter is how
+    shared-memory planes are produced without an intermediate serialization.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: dict[str, np.ndarray] = {}
+        self._aliases: dict[str, str] = {}  # name -> canonical name, same bytes
+        self._by_buffer: dict[tuple, str] = {}
+        self._meta: Any = {}
+
+    def add_array(self, name: str, array: np.ndarray) -> None:
+        """Register one array under ``name`` (unique per snapshot).
+
+        Arrays that share storage are written once: registering the same
+        underlying buffer (same data pointer, dtype and shape) under a second
+        name produces a manifest alias onto the first segment. The fitted
+        pipeline aliases heavily — an index cache entry's key matrix *is* the
+        index's vector matrix *is* the integrated table's vector plane — so
+        this keeps snapshots at unique-data size instead of multiplying the
+        dominant plane per referencing object.
+        """
+        if name in self._arrays or name in self._aliases:
+            raise StoreError(f"duplicate array name {name!r} in snapshot")
+        array = np.ascontiguousarray(array)
+        if array.dtype.hasobject:
+            raise StoreError(f"array {name!r} has object dtype; snapshots store raw buffers only")
+        buffer_key = (
+            array.__array_interface__["data"][0],
+            array.dtype.str,
+            array.shape,
+        )
+        canonical = self._by_buffer.get(buffer_key)
+        if canonical is not None:
+            self._aliases[name] = canonical
+            return
+        self._by_buffer[buffer_key] = name
+        self._arrays[name] = array
+
+    def add_strings(self, name: str, strings: Iterable[str]) -> None:
+        """Register a list of strings as a UTF-8 bytes + offsets array pair."""
+        for suffix, array in string_table_arrays(strings).items():
+            self.add_array(name + suffix, array)
+
+    def set_meta(self, meta: Any) -> None:
+        """Attach the manifest's ``meta`` tree (must be JSON-serializable)."""
+        self._meta = meta
+
+    # ------------------------------------------------------------- layout
+    def _layout(self) -> tuple[dict[str, dict], int, bytes]:
+        """Segment offsets, manifest offset, and the manifest bytes."""
+        entries: dict[str, dict] = {}
+        offset = _aligned(_HEADER.size)
+        for name, array in self._arrays.items():
+            offset = _aligned(offset)
+            entries[name] = {
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+                "nbytes": int(array.nbytes),
+            }
+            offset += int(array.nbytes)
+        for name, canonical in self._aliases.items():
+            entries[name] = dict(entries[canonical])  # same segment, own entry
+            entries[name]["alias_of"] = canonical
+        manifest = json.dumps(
+            {"arrays": entries, "meta": self._meta}, separators=(",", ":"), ensure_ascii=False
+        ).encode("utf-8")
+        return entries, offset, manifest
+
+    def required_size(self) -> int:
+        """Total snapshot size in bytes (header + segments + manifest)."""
+        _, manifest_offset, manifest = self._layout()
+        return manifest_offset + len(manifest)
+
+    # -------------------------------------------------------------- write
+    def write_into(self, buffer) -> int:
+        """Write the snapshot into a writable buffer; returns bytes written.
+
+        The buffer must hold at least :meth:`required_size` bytes (a
+        shared-memory segment may be slightly larger — readers locate the
+        manifest through the header, not the buffer end).
+        """
+        entries, manifest_offset, manifest = self._layout()
+        view = memoryview(buffer)
+        try:
+            total = manifest_offset + len(manifest)
+            if len(view) < total:
+                raise StoreError(
+                    f"snapshot needs {total} bytes but the buffer holds {len(view)}"
+                )
+            view[: _HEADER.size] = _HEADER.pack(
+                MAGIC, FORMAT_VERSION, manifest_offset, len(manifest)
+            )
+            for name, array in self._arrays.items():
+                entry = entries[name]
+                start = entry["offset"]
+                view[start : start + entry["nbytes"]] = array.reshape(-1).view(np.uint8).data
+            view[manifest_offset : manifest_offset + len(manifest)] = manifest
+            return total
+        finally:
+            view.release()
+
+    def save(self, path: str | os.PathLike) -> int:
+        """Write the snapshot to ``path`` atomically (temp file + rename)."""
+        entries, manifest_offset, manifest = self._layout()
+        with atomic_output(path) as handle:
+            handle.write(_HEADER.pack(MAGIC, FORMAT_VERSION, manifest_offset, len(manifest)))
+            position = _HEADER.size
+            for name, array in self._arrays.items():
+                entry = entries[name]
+                handle.write(b"\0" * (entry["offset"] - position))
+                handle.write(array.reshape(-1).view(np.uint8).data)
+                position = entry["offset"] + entry["nbytes"]
+            handle.write(b"\0" * (manifest_offset - position))
+            handle.write(manifest)
+        return manifest_offset + len(manifest)
+
+    def payload_digest(self) -> str:
+        """BLAKE2b over every canonical segment (name + dtype + shape + bytes).
+
+        Matches :meth:`Snapshot.payload_digest` of the written snapshot, so
+        a reader can prove the whole payload survived storage bit for bit.
+        Aliased names share their canonical segment and are hashed once,
+        under the canonical (first-registered) name.
+        """
+        digest = _new_payload_digest()
+        for name, array in self._arrays.items():
+            _digest_segment(digest, name, array.dtype.str, array.shape, array)
+        return digest.hexdigest()
+
+
+class Snapshot:
+    """Reader over one snapshot buffer, zero-copy by default.
+
+    In mapped/buffer mode, :meth:`array` returns read-only views backed by
+    the underlying storage (no bytes are copied); in copy mode every array is
+    an independent writable copy and the source is released immediately.
+    """
+
+    def __init__(self, manifest: dict, buffer, *, copy: bool, closer=None) -> None:
+        if not isinstance(manifest, dict) or "arrays" not in manifest:
+            raise StoreError("snapshot manifest is malformed")
+        self._entries: dict[str, dict] = manifest["arrays"]
+        self.meta: Any = manifest.get("meta", {})
+        self._closer = closer
+        self._materialized: dict[str, np.ndarray] | None = None
+        if copy:
+            self._materialized = {
+                name: self._view(buffer, name).copy() for name in self._entries
+            }
+            self._buffer = None
+            self.close()
+        else:
+            self._buffer = buffer
+
+    # -------------------------------------------------------- constructors
+    @classmethod
+    def open(cls, path: str | os.PathLike, *, mmap: bool = True) -> "Snapshot":
+        """Open a snapshot file; ``mmap=True`` maps it read-only, zero-copy."""
+        if mmap:
+            with open(path, "rb") as handle:
+                mapped = mmap_module.mmap(handle.fileno(), 0, access=mmap_module.ACCESS_READ)
+            manifest = cls._parse(mapped)
+            return cls(manifest, mapped, copy=False, closer=mapped.close)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        return cls(cls._parse(data), data, copy=True)
+
+    @classmethod
+    def from_buffer(cls, buffer, *, copy: bool = False) -> "Snapshot":
+        """Read a snapshot out of any buffer (e.g. a shared-memory segment)."""
+        return cls(cls._parse(buffer), buffer, copy=copy)
+
+    @staticmethod
+    def _parse(buffer) -> dict:
+        view = memoryview(buffer)
+        try:
+            if len(view) < _HEADER.size:
+                raise StoreError("buffer too small to be a snapshot")
+            magic, version, manifest_offset, manifest_length = _HEADER.unpack(
+                view[: _HEADER.size]
+            )
+            if magic != MAGIC:
+                raise StoreError("not a repro snapshot (bad magic)")
+            if version != FORMAT_VERSION:
+                raise StoreError(
+                    f"snapshot format version {version} is not supported "
+                    f"(this reader understands version {FORMAT_VERSION})"
+                )
+            if manifest_offset + manifest_length > len(view):
+                raise StoreError("snapshot manifest extends past the buffer end")
+            manifest = bytes(view[manifest_offset : manifest_offset + manifest_length])
+        finally:
+            view.release()
+        try:
+            return json.loads(manifest.decode("utf-8"))
+        except ValueError as exc:
+            raise StoreError(f"snapshot manifest is not valid JSON: {exc}") from exc
+
+    # -------------------------------------------------------------- access
+    def _view(self, buffer, name: str) -> np.ndarray:
+        entry = self._entries[name]
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        array = np.frombuffer(buffer, dtype=dtype, count=count, offset=entry["offset"])
+        array = array.reshape(shape)
+        if array.flags.writeable:
+            # Shared-memory buffers are writable; the snapshot contract is
+            # read-only either way (another process owns the storage).
+            array.flags.writeable = False
+        return array
+
+    def names(self) -> list[str]:
+        """All array names, in manifest order."""
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def array(self, name: str) -> np.ndarray:
+        """The named array — a zero-copy view in mapped mode, else a copy."""
+        if self._materialized is not None:
+            return self._materialized[name]
+        if self._buffer is None:
+            raise StoreError("snapshot is closed")
+        if name not in self._entries:
+            raise StoreError(f"snapshot has no array {name!r}")
+        return self._view(self._buffer, name)
+
+    def strings(self, name: str) -> list[str]:
+        """Decode a string list written by :meth:`SnapshotWriter.add_strings`."""
+        return strings_from_arrays({suffix: self.array(name + suffix) for suffix in _STRING_SUFFIXES}, "")
+
+    def total_bytes(self) -> int:
+        """Total unique segment bytes (aliased entries share one segment)."""
+        return sum(
+            int(entry["nbytes"])
+            for entry in self._entries.values()
+            if "alias_of" not in entry
+        )
+
+    def payload_digest(self) -> str:
+        """BLAKE2b over every canonical segment — the writer-side twin of
+        :meth:`SnapshotWriter.payload_digest`; equal digests prove the whole
+        payload (every array of every embedded object) is bit-identical to
+        what was saved."""
+        digest = _new_payload_digest()
+        for name, entry in self._entries.items():
+            if "alias_of" in entry:
+                continue
+            _digest_segment(
+                digest, name, entry["dtype"], tuple(entry["shape"]), self.array(name)
+            )
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------ lifetime
+    def close(self) -> None:
+        """Release the underlying buffer (mapped mode); copies stay usable."""
+        self._buffer = None
+        closer, self._closer = self._closer, None
+        if closer is not None:
+            try:
+                closer()
+            except BufferError:
+                # Zero-copy views are still alive; the mapping stays open
+                # until they are collected (the OS reclaims it at exit).
+                pass
+
+    def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------ payload digests
+def _new_payload_digest():
+    import hashlib
+
+    return hashlib.blake2b(digest_size=16)
+
+
+def _digest_segment(digest, name: str, dtype_str: str, shape, array: np.ndarray) -> None:
+    digest.update(name.encode())
+    digest.update(str(dtype_str).encode())
+    digest.update(str(tuple(shape)).encode())
+    digest.update(np.ascontiguousarray(array).tobytes())
+
+
+# -------------------------------------------------------------- string tables
+def encode_strings(strings: Iterable[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Pack strings into one UTF-8 byte array plus int64 CSR offsets."""
+    blobs = [s.encode("utf-8") for s in strings]
+    offsets = np.zeros(len(blobs) + 1, dtype=np.int64)
+    np.cumsum([len(b) for b in blobs], out=offsets[1:])
+    utf8 = np.frombuffer(b"".join(blobs), dtype=np.uint8).copy()
+    return utf8, offsets
+
+
+def decode_strings(utf8: np.ndarray, offsets: np.ndarray) -> list[str]:
+    """Inverse of :func:`encode_strings`."""
+    blob = utf8.tobytes()
+    bounds = offsets.tolist()
+    return [blob[start:stop].decode("utf-8") for start, stop in zip(bounds[:-1], bounds[1:])]
+
+
+#: The array-name suffixes one string table occupies — the single definition
+#: of the convention shared by :meth:`SnapshotWriter.add_strings`,
+#: :meth:`Snapshot.strings`, and the object codecs.
+_STRING_SUFFIXES = ("#utf8", "#offsets")
+
+
+def string_table_arrays(strings: Iterable[str]) -> "dict[str, np.ndarray]":
+    """A string list as its ``{suffix: array}`` table (see ``_STRING_SUFFIXES``)."""
+    utf8, offsets = encode_strings(strings)
+    return {"#utf8": utf8, "#offsets": offsets}
+
+
+def strings_from_arrays(arrays: "Mapping[str, np.ndarray]", prefix: str) -> list[str]:
+    """Decode a string table stored under ``prefix`` inside an arrays mapping."""
+    return decode_strings(arrays[prefix + "#utf8"], arrays[prefix + "#offsets"])
+
+
+# ----------------------------------------------------------- JSON-safe tuples
+def tag_tuples(value: Any) -> Any:
+    """Recursively encode tuples as ``{"__tuple__": [...]}`` for JSON."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [tag_tuples(v) for v in value]}
+    if isinstance(value, list):
+        return [tag_tuples(v) for v in value]
+    if isinstance(value, Mapping):
+        return {k: tag_tuples(v) for k, v in value.items()}
+    return value
+
+
+def untag_tuples(value: Any) -> Any:
+    """Inverse of :func:`tag_tuples` (exact tuple/list round trip)."""
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(untag_tuples(v) for v in value["__tuple__"])
+        return {k: untag_tuples(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [untag_tuples(v) for v in value]
+    return value

@@ -1,0 +1,286 @@
+"""Shared-memory task planes for the process-pool backends.
+
+The pickle-based process dispatch serializes every :class:`ItemTable` (and
+every pruning member matrix) into the pool's pipe and back — at large table
+sizes that serialization dominates the fan-out. This module replaces the
+array traffic with POSIX shared memory carrying :mod:`repro.store.format`
+snapshots:
+
+* the **parent** packs all of one ``map`` call's task arrays into a single
+  :class:`TaskPlane` segment (one aligned snapshot buffer, written in place —
+  no intermediate bytes) and sends workers only ``(plane_name, task_index)``
+  descriptors plus small picklable scalars;
+* **workers** attach the segment once per plane (:func:`worker_plane`) and
+  reconstruct their inputs as zero-copy, read-only views over the mapped
+  buffer;
+* task **results** travel back the same way when they are array-heavy:
+  :func:`export_response` writes a response snapshot into a fresh segment
+  and returns its name; the parent copies the arrays out and unlinks it
+  (:func:`read_response`).
+
+Because the bytes workers see are exactly the bytes the parent holds, the
+shared-memory dispatch is bit-identical to the pickle dispatch by
+construction — pinned by ``tests/core/test_shared_memory_pool.py``.
+
+Lifecycle: the parent owns every segment. Request planes are unlinked by the
+parent right after the ``map`` barrier; response segments are unlinked as
+soon as the parent has copied them out. Each segment is registered with the
+(fork-shared) ``resource_tracker`` exactly once by its creator and
+unregistered exactly once by the parent's ``unlink`` — attaches are
+deliberately untracked (see :func:`_attach`) — so a segment leaked by a
+crash is still reclaimed when the tracker shuts down, with no double-unlink
+noise in normal operation. Workers close retired attachments when the next
+plane arrives; an attachment whose views are still referenced (e.g. vectors
+captured by a worker's persistent :class:`~repro.ann.cache.IndexCache`)
+refuses to close with ``BufferError`` and is retried on later planes, so
+nothing is ever unmapped under live arrays.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import StoreError
+from .format import Snapshot, SnapshotWriter
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+def available() -> bool:
+    """Whether this platform offers ``multiprocessing.shared_memory``."""
+    return _shared_memory is not None
+
+
+#: Serializes the register-suppressing monkeypatch in :func:`_attach`: two
+#: concurrent attaches in one process could otherwise capture each other's
+#: patched function as "original" and leave the no-op installed for good.
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach(name: str):
+    """Attach an existing segment without re-registering it with the tracker.
+
+    CPython ≤ 3.12 registers POSIX shared memory on *attach* as well as on
+    create (gh-82300). With the fork-shared tracker that duplicate register
+    races the owner's ``unlink``: landing after it, the name is resurrected
+    in the tracker's set and reported as leaked at shutdown. Suppressing
+    ``register`` for the duration of the attach (under a lock, so the real
+    function is always what gets restored) keeps the intended protocol —
+    each segment is registered exactly once (by its creator) and
+    unregistered exactly once (by the parent's ``unlink``).
+    """
+    from multiprocessing import resource_tracker
+
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class TaskPlane:
+    """Parent-side request segment holding every task's arrays for one ``map``.
+
+    ``tasks`` is one ``{name: array}`` dict per task; task ``i``'s arrays are
+    stored under the ``t{i}/`` prefix. ``metas`` (optional, JSON-able) ride
+    in the snapshot meta under ``"tasks"``.
+    """
+
+    def __init__(self, tasks: "Sequence[dict[str, np.ndarray]]", metas: list | None = None) -> None:
+        if _shared_memory is None:
+            raise StoreError("shared-memory planes are unavailable on this platform")
+        writer = SnapshotWriter()
+        for i, arrays in enumerate(tasks):
+            for name, array in arrays.items():
+                writer.add_array(f"t{i}/{name}", array)
+        writer.set_meta({"tasks": metas if metas is not None else [{}] * len(tasks)})
+        self._shm = _shared_memory.SharedMemory(create=True, size=max(writer.required_size(), 1))
+        try:
+            writer.write_into(self._shm.buf)
+        except BaseException:
+            self.close()
+            raise
+        self.name = self._shm.name
+
+    def close(self) -> None:
+        """Unlink and release the segment (idempotent).
+
+        Call only after the dispatching ``map`` returned — workers attach
+        lazily, and an unlinked name cannot be attached anymore (already
+        attached workers keep their mapping until they retire it).
+        """
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - parent drops views before close
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double close
+            pass
+
+    def __enter__(self) -> "TaskPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------- worker side
+#: name -> (SharedMemory, Snapshot) of the plane this worker currently serves.
+_ATTACHED: dict = {}
+#: retired attachments whose close raised BufferError (views still alive).
+_PENDING_CLOSE: list = []
+
+
+def _retire(shm, reader) -> bool:
+    """Close one attachment; False when live views still pin the mapping."""
+    if reader is not None:
+        reader.close()
+    try:
+        shm.close()
+        return True
+    except BufferError:
+        return False
+
+
+def retire_worker_attachments(keep: str | None = None) -> None:
+    """Close every cached plane attachment (except ``keep``) in this process.
+
+    Attachments whose zero-copy views are still referenced — e.g. vectors a
+    worker's persistent :class:`~repro.ann.cache.IndexCache` captured —
+    refuse to close with ``BufferError`` and move to a pending list retried
+    on every later call, so a mapping is never pulled out from under live
+    arrays. Also the in-process cleanup hook for benchmarks/tests that play
+    the worker role themselves.
+    """
+    for other in [key for key in _ATTACHED if key != keep]:
+        shm, reader = _ATTACHED.pop(other)
+        if not _retire(shm, reader):
+            _PENDING_CLOSE.append(shm)
+    _PENDING_CLOSE[:] = [shm for shm in _PENDING_CLOSE if not _retire(shm, None)]
+
+
+def worker_plane(name: str) -> Snapshot:
+    """Attach (or reuse) the request plane ``name`` inside a pool worker.
+
+    A new plane name retires every previously attached plane: by the time the
+    parent dispatches against a new plane, the ``map`` barrier guarantees all
+    tasks of the old one have finished, so its views are garbage except for
+    arrays captured by persistent worker state — those defer the unmap via
+    the pending-close list (see :func:`retire_worker_attachments`).
+    """
+    entry = _ATTACHED.get(name)
+    if entry is not None:
+        return entry[1]
+    retire_worker_attachments(keep=name)
+    if _shared_memory is None:
+        raise StoreError("shared-memory planes are unavailable on this platform")
+    shm = _attach(name)
+    reader = Snapshot.from_buffer(shm.buf, copy=False)
+    _ATTACHED[name] = (shm, reader)
+    return reader
+
+
+def task_arrays(plane: Snapshot, index: int, names: "Sequence[str]") -> "dict[str, np.ndarray]":
+    """Task ``index``'s named arrays as zero-copy views."""
+    return {name: plane.array(f"t{index}/{name}") for name in names}
+
+
+# ------------------------------------------------------------------ responses
+def response_names(token: str, count: int) -> list[str]:
+    """Deterministic response-segment names for one dispatch round.
+
+    The parent generates a unique ``token`` per round and hands each task
+    its pre-assigned name: because the parent knows every name *before* the
+    round runs, it can reclaim the segments of already-completed tasks even
+    when the dispatching ``map`` itself raises (a crashed worker must not
+    strand finished siblings' output in ``/dev/shm``).
+    """
+    return [f"repro_{token}_{i}" for i in range(count)]
+
+
+def export_response(arrays: "dict[str, np.ndarray]", meta, *, segment_name: str | None = None) -> tuple:
+    """Write a response snapshot into a fresh segment (worker side).
+
+    Returns the ``("shm", name)`` descriptor the parent hands to
+    :func:`read_response`. Ownership transfers to the parent: the worker
+    closes its mapping immediately (the name stays valid — and registered
+    with the shared resource tracker — until the parent unlinks it).
+    ``segment_name`` (from :func:`response_names`) makes the segment
+    reclaimable by the parent even if this descriptor never arrives.
+    """
+    if _shared_memory is None:
+        raise StoreError("shared-memory planes are unavailable on this platform")
+    writer = SnapshotWriter()
+    for name, array in arrays.items():
+        writer.add_array(name, array)
+    writer.set_meta(meta)
+    shm = _shared_memory.SharedMemory(
+        name=segment_name, create=True, size=max(writer.required_size(), 1)
+    )
+    try:
+        writer.write_into(shm.buf)
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    name = shm.name
+    shm.close()
+    return ("shm", name)
+
+
+def read_response(descriptor: tuple) -> Snapshot:
+    """Materialize a worker response (parent side) and unlink its segment.
+
+    The returned :class:`Snapshot` is in copy mode — its arrays are
+    independent parent-memory copies, so the segment is gone by the time this
+    returns.
+    """
+    kind, name = descriptor
+    if kind != "shm":  # pragma: no cover - descriptor contract violation
+        raise StoreError(f"unknown response descriptor kind {kind!r}")
+    if _shared_memory is None:
+        raise StoreError("shared-memory planes are unavailable on this platform")
+    shm = _attach(name)
+    try:
+        return Snapshot.from_buffer(shm.buf, copy=True)
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def discard_response(descriptor_or_name) -> None:
+    """Unlink a response segment without reading it (error-path cleanup).
+
+    Accepts a ``("shm", name)`` descriptor or a bare segment name (from
+    :func:`response_names`); a segment that was never created, or is already
+    gone, is silently skipped.
+    """
+    if _shared_memory is None:
+        return
+    if isinstance(descriptor_or_name, tuple):
+        if not descriptor_or_name or descriptor_or_name[0] != "shm":
+            return
+        name = descriptor_or_name[1]
+    else:
+        name = descriptor_or_name
+    try:
+        shm = _attach(name)
+    except (OSError, ValueError):
+        return
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass

@@ -1,0 +1,265 @@
+"""Load-and-serve matching: snapshot a fitted pipeline, restore, keep matching.
+
+:func:`save_session` writes the complete fitted state of an
+:class:`~repro.core.incremental.IncrementalMultiEM` — pipeline config, the
+fitted encoder (IDF vocabulary / SVD basis), the integrated
+:class:`~repro.core.merging.ItemTable`, the
+:class:`~repro.core.representation.EmbeddingStore`, and the live
+:class:`~repro.ann.cache.IndexCache` — into one snapshot file.
+:class:`MatchSession` (or :func:`load_matcher`) restores it without
+re-running any pipeline stage: with ``mmap=True`` every vector plane is a
+zero-copy view over the mapped file, so a cold process starts answering
+``match_new_table`` / ``query`` calls in the time it takes to parse the
+manifest.
+
+Restores are exact: the snapshot records content digests of the integrated
+table and the embedding store at save time, ``load`` re-derives and verifies
+them (``verify=False`` to skip), and a restored matcher's ``add_table``
+produces byte-for-byte the tuples the in-memory matcher would have — pinned
+by ``tests/store/test_session.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.incremental import IncrementalMultiEM
+from ..data.table import Table
+from ..exceptions import StoreError
+from . import codecs
+from .format import Snapshot, SnapshotWriter
+
+#: Snapshot meta ``"type"`` marker for session snapshots.
+SESSION_TYPE = "multiem_session"
+
+
+def save_session(matcher: IncrementalMultiEM, path) -> dict:
+    """Write a fitted matcher's state to ``path``; returns the digest record."""
+    state = matcher.snapshot_state()
+    writer = SnapshotWriter()
+    table_meta = codecs.pack(writer, "table/", codecs.item_table_state(state["table"]))
+    store_meta = codecs.pack(writer, "store/", codecs.embedding_store_state(state["store"]))
+    encoder_meta = codecs.pack(writer, "encoder/", codecs.encoder_state(state["encoder"]))
+    cache_meta = None
+    if state["index_cache"] is not None:
+        cache_meta = codecs.pack(writer, "cache/", codecs.index_cache_state(state["index_cache"]))
+    digests = {
+        "item_table": codecs.item_table_digest(state["table"]),
+        "embedding_store": codecs.embedding_store_digest(state["store"]),
+        # Whole-payload digest: every segment of every embedded object
+        # (encoder, index cache, config arrays included), so load-time
+        # verification covers the entire snapshot, not just the two core
+        # structures whose object-level digests are reported above.
+        "payload": writer.payload_digest(),
+    }
+    writer.set_meta(
+        {
+            "type": SESSION_TYPE,
+            "config": codecs.config_to_meta(state["config"]),
+            "attributes": list(state["attributes"]),
+            "schema": list(state["schema"]),
+            "known_sources": list(state["known_sources"]),
+            "digests": digests,
+            "table": table_meta,
+            "store": store_meta,
+            "encoder": encoder_meta,
+            "cache": cache_meta,
+        }
+    )
+    writer.save(path)
+    return digests
+
+
+def _restore(snapshot: Snapshot, *, verify: bool) -> IncrementalMultiEM:
+    meta = snapshot.meta
+    if not isinstance(meta, dict) or meta.get("type") != SESSION_TYPE:
+        raise StoreError("snapshot does not hold a MultiEM session")
+    table = codecs.item_table_from_state(
+        meta["table"], codecs.unpack(snapshot, "table/", meta["table"])
+    )
+    store = codecs.embedding_store_from_state(
+        meta["store"], codecs.unpack(snapshot, "store/", meta["store"])
+    )
+    if verify:
+        recorded = meta["digests"]
+        derived = {
+            "item_table": codecs.item_table_digest(table),
+            "embedding_store": codecs.embedding_store_digest(store),
+        }
+        if "payload" in recorded:
+            derived["payload"] = snapshot.payload_digest()
+        if derived != recorded:
+            raise StoreError(
+                f"snapshot digests do not match its contents: recorded {recorded}, "
+                f"derived {derived} (corrupted or truncated file)"
+            )
+    encoder = codecs.encoder_from_state(
+        meta["encoder"], codecs.unpack(snapshot, "encoder/", meta["encoder"])
+    )
+    cache = None
+    if meta.get("cache") is not None:
+        cache = codecs.index_cache_from_state(
+            meta["cache"], codecs.unpack(snapshot, "cache/", meta["cache"])
+        )
+    return IncrementalMultiEM.from_snapshot_state(
+        config=codecs.config_from_meta(meta["config"]),
+        encoder=encoder,
+        attributes=tuple(meta["attributes"]),
+        schema=tuple(meta["schema"]),
+        table=table,
+        store=store,
+        known_sources=meta["known_sources"],
+        index_cache=cache,
+    )
+
+
+def load_matcher(path, *, mmap: bool = True, verify: bool = True) -> IncrementalMultiEM:
+    """Restore a fitted :class:`IncrementalMultiEM` from a session snapshot.
+
+    With ``mmap=True`` the matcher's arrays stay backed by the mapped file
+    (zero copies, read-only); the mapping lives as long as the arrays do.
+    ``verify=True`` re-derives and checks the recorded content digests.
+    """
+    snapshot = Snapshot.open(path, mmap=mmap)
+    try:
+        return _restore(snapshot, verify=verify)
+    finally:
+        if not mmap:
+            snapshot.close()
+
+
+class MatchSession:
+    """A restored pipeline serving match and nearest-tuple queries.
+
+    Wraps the rehydrated :class:`IncrementalMultiEM` with the two serving
+    calls a snapshot exists for; the underlying matcher stays available as
+    :attr:`matcher` for anything else (evaluation, further snapshots).
+    """
+
+    def __init__(self, matcher: IncrementalMultiEM, digests: dict | None = None) -> None:
+        self.matcher = matcher
+        self.digests = dict(digests or {})
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Snapshot, *, verify: bool = True) -> "MatchSession":
+        """Build a session over an already-open :class:`Snapshot`.
+
+        Lets a caller that needs the raw manifest (array names, payload
+        size) open the file once and reuse the same mapping for the restore
+        instead of parsing it twice.
+        """
+        matcher = _restore(snapshot, verify=verify)
+        meta = snapshot.meta
+        return cls(matcher, meta.get("digests") if isinstance(meta, dict) else None)
+
+    @classmethod
+    def load(cls, path, *, mmap: bool = True, verify: bool = True) -> "MatchSession":
+        """Open a session snapshot (see :func:`load_matcher` for the knobs)."""
+        snapshot = Snapshot.open(path, mmap=mmap)
+        try:
+            return cls.from_snapshot(snapshot, verify=verify)
+        finally:
+            if not mmap:
+                snapshot.close()
+
+    # ------------------------------------------------------------- serving
+    def match_new_table(self, table: Table):
+        """Fold one new source table into the restored state (no refit).
+
+        Exactly :meth:`IncrementalMultiEM.add_table` — one two-table merge
+        against the integrated table plus a pruning pass — and byte-for-byte
+        the result the never-snapshotted matcher would return.
+        """
+        return self.matcher.add_table(table)
+
+    def query(self, texts, k: int = 1, max_distance: float | None = None):
+        """Nearest integrated tuples for raw serialized texts.
+
+        Encodes ``texts`` with the restored encoder and searches the
+        integrated table with the configured ANN backend (through the
+        restored index cache, so repeated queries — and a cache warmed by a
+        previous ``add_table`` — never rebuild the index). Returns one list
+        per text of ``(members, distance)`` pairs, nearest first; pairs
+        beyond ``max_distance`` (default: the merging threshold ``m``) are
+        dropped.
+        """
+        matcher = self.matcher
+        table = matcher.integrated_table
+        if len(table) == 0:
+            return [[] for _ in texts]
+        representer = matcher._representer
+        assert representer is not None
+        vectors = representer.encode_texts(list(texts))
+        merging = matcher.config.merging
+        if max_distance is None:
+            max_distance = merging.m
+        from ..ann.mutual import create_index, resolve_backend
+
+        index_kwargs = {
+            "hnsw_max_degree": merging.hnsw_max_degree,
+            "hnsw_ef_construction": merging.hnsw_ef_construction,
+            "hnsw_ef_search": merging.hnsw_ef_search,
+            "lsh_num_tables": merging.lsh_num_tables,
+            "lsh_num_bits": merging.lsh_num_bits,
+            "lsh_probe_neighbors": merging.lsh_probe_neighbors,
+            "seed": merging.seed,
+        }
+
+        def build():
+            return create_index(
+                merging.index,
+                merging.metric,
+                size_hint=table.vectors.shape[0],
+                brute_force_limit=merging.brute_force_limit,
+                **index_kwargs,
+            ).build(table.vectors)
+
+        cache = matcher._index_cache
+        if cache is not None:
+            # Same params key the merge stage uses, so a query content-hits
+            # the index a previous merge (or query) already built.
+            resolved = resolve_backend(
+                merging.index, table.vectors.shape[0], merging.brute_force_limit
+            )
+            params_key = (resolved, merging.metric, tuple(sorted(index_kwargs.items())))
+            index = cache.get_or_build(table.vectors, build, params_key=params_key)
+        else:
+            index = build()
+        indices, distances = index.query(vectors, k)
+        from ..data.entity import EntityRef
+
+        def members_of(item: int) -> tuple:
+            start, stop = int(table.member_offsets[item]), int(table.member_offsets[item + 1])
+            return tuple(
+                EntityRef(table.sources[int(sid)], int(idx))
+                for sid, idx in zip(
+                    table.member_sources[start:stop], table.member_indices[start:stop]
+                )
+            )
+
+        results = []
+        for row in range(indices.shape[0]):
+            hits = []
+            for slot in range(indices.shape[1]):
+                item = int(indices[row, slot])
+                dist = float(distances[row, slot])
+                if item < 0 or not np.isfinite(dist) or dist > max_distance:
+                    continue
+                hits.append((members_of(item), dist))
+            results.append(hits)
+        return results
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def known_sources(self) -> tuple[str, ...]:
+        return self.matcher.known_sources
+
+    def close(self) -> None:
+        """Release the matcher's worker pools (the mapping follows its arrays)."""
+        self.matcher.close()
+
+    def __enter__(self) -> "MatchSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

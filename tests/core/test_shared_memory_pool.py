@@ -1,0 +1,163 @@
+"""Shared-memory process dispatch: bit-equality with every other backend.
+
+The pool plane replaces pickled ``ItemTable``s / member matrices with
+zero-copy views over shared-memory segments; these tests pin that the
+transport swap changes nothing — serial == thread == process(pickle) ==
+process(shared-memory) on merge and prune, down to the raw bytes — and that
+segments never outlive the run.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.config import MergingConfig, MultiEMConfig, ParallelConfig, PruningConfig
+from repro.core.merging import ItemTable, hierarchical_merge_tables
+from repro.core.parallel import ParallelExecutor
+from repro.core.pruning import prune_item_table, prune_items
+from repro.core.representation import EmbeddingStore, TableEmbeddings
+from repro.data.entity import EntityRef
+from repro.store import plane
+
+pytestmark = pytest.mark.skipif(not plane.available(), reason="no POSIX shared memory")
+
+
+def make_tables(num_tables=5, rows=70, dim=12):
+    base = np.random.default_rng(0).normal(size=(rows, dim)).astype(np.float32)
+    tables, store = [], EmbeddingStore()
+    for seed in range(num_tables):
+        rng = np.random.default_rng(seed + 1)
+        vectors = (base + rng.normal(scale=0.01, size=(rows, dim))).astype(np.float32)
+        name = f"s{seed}"
+        tables.append(
+            ItemTable(
+                vectors,
+                np.zeros(rows, dtype=np.int32),
+                np.arange(rows, dtype=np.int64),
+                np.arange(rows + 1, dtype=np.int64),
+                (name,),
+            )
+        )
+        store.add_table(TableEmbeddings(name, [EntityRef(name, i) for i in range(rows)], vectors))
+    return tables, store
+
+
+def executor_for(backend, shared_memory=False):
+    return ParallelExecutor(
+        ParallelConfig(
+            enabled=backend != "serial",
+            backend=backend if backend != "serial" else "thread",
+            max_workers=2,
+            shared_memory=shared_memory,
+        )
+    )
+
+
+def assert_tables_equal(got: ItemTable, want: ItemTable):
+    assert got.sources == want.sources
+    assert got.vectors.tobytes() == want.vectors.tobytes()
+    assert np.array_equal(got.member_sources, want.member_sources)
+    assert np.array_equal(got.member_indices, want.member_indices)
+    assert np.array_equal(got.member_offsets, want.member_offsets)
+
+
+@pytest.fixture(scope="module", params=["brute-force", "hnsw"])
+def workload(request):
+    tables, store = make_tables()
+    merging = MergingConfig(index=request.param, m=0.5)
+    pruning = PruningConfig(epsilon=1.0)
+    merged, _ = hierarchical_merge_tables([t for t in tables], merging)
+    pruned = prune_item_table(merged, store, pruning)
+    return tables, store, merging, pruning, merged, pruned
+
+
+class TestBitEquality:
+    @pytest.mark.parametrize(
+        "backend,shared_memory",
+        [("thread", False), ("process", False), ("process", True)],
+    )
+    def test_merge_prune_equals_serial(self, workload, backend, shared_memory):
+        tables, store, merging, pruning, serial_merged, serial_pruned = workload
+        with executor_for(backend, shared_memory) as executor:
+            assert executor.uses_shared_memory == (shared_memory and backend == "process")
+            merged, _ = hierarchical_merge_tables([t for t in tables], merging, executor=executor)
+            pruned = prune_item_table(merged, store, pruning, executor=executor)
+        assert_tables_equal(merged, serial_merged)
+        assert [item.members for item in pruned] == [item.members for item in serial_pruned]
+        assert all(
+            got.vector.tobytes() == want.vector.tobytes()
+            for got, want in zip(pruned, serial_pruned)
+        )
+
+    def test_prune_items_list_path_shared_memory(self, workload):
+        tables, store, merging, pruning, serial_merged, serial_pruned = workload
+        candidates = serial_merged.filter(serial_merged.sizes >= 2).to_items()
+        with executor_for("process", shared_memory=True) as executor:
+            pruned = prune_items(list(candidates), store, pruning, executor=executor)
+        assert [item.members for item in pruned] == [item.members for item in serial_pruned]
+        assert all(
+            got.vector.tobytes() == want.vector.tobytes()
+            for got, want in zip(pruned, serial_pruned)
+        )
+
+    def test_multiem_end_to_end_shared_memory(self, music_tiny):
+        """Full pipeline: shared-memory parallel result == serial result."""
+        from repro.core import MultiEM
+
+        serial = MultiEM(MultiEMConfig()).match(music_tiny)
+        config = MultiEMConfig(
+            parallel=ParallelConfig(
+                enabled=True, backend="process", max_workers=2, shared_memory=True
+            )
+        )
+        parallel = MultiEM(config).match(music_tiny)
+        assert parallel.tuples == serial.tuples
+        assert parallel.method == "MultiEM (parallel)"
+
+
+class TestPlaneLifecycle:
+    def test_no_segments_leak(self, workload):
+        tables, store, merging, pruning, *_ = workload
+        before = set(glob.glob("/dev/shm/psm_*"))
+        with executor_for("process", shared_memory=True) as executor:
+            merged, _ = hierarchical_merge_tables([t for t in tables], merging, executor=executor)
+            prune_item_table(merged, store, pruning, executor=executor)
+        leaked = set(glob.glob("/dev/shm/psm_*")) - before
+        assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+    def test_task_plane_roundtrip_and_close(self):
+        arrays = {"a": np.arange(10, dtype=np.int64), "b": np.ones((3, 4), dtype=np.float32)}
+        task_plane = plane.TaskPlane([arrays], [{"tag": 7}])
+        try:
+            reader = plane.worker_plane(task_plane.name)
+            assert reader.meta["tasks"][0] == {"tag": 7}
+            got = plane.task_arrays(reader, 0, ["a", "b"])
+            assert np.array_equal(got["a"], arrays["a"])
+            assert not got["a"].flags.writeable  # read-only by contract
+        finally:
+            # Retire the worker-side attachment (this process doubles as the
+            # worker here), then unlink.
+            del got, reader
+            plane.retire_worker_attachments()
+            task_plane.close()
+
+    def test_response_roundtrip(self):
+        arrays = {"table": np.arange(6, dtype=np.float32).reshape(2, 3)}
+        descriptor = plane.export_response(arrays, {"matched": 3})
+        response = plane.read_response(descriptor)
+        assert response.meta["matched"] == 3
+        loaded = response.array("table")
+        assert np.array_equal(loaded, arrays["table"])
+        assert loaded.flags.writeable  # parent copies are independent
+        # Segment must be gone.
+        name = descriptor[1].lstrip("/")
+        assert not glob.glob(f"/dev/shm/{name}")
+
+    def test_discard_response(self):
+        descriptor = plane.export_response({"x": np.zeros(4)}, {})
+        plane.discard_response(descriptor)
+        assert not glob.glob(f"/dev/shm/{descriptor[1].lstrip('/')}")
+        plane.discard_response(descriptor)  # idempotent on a gone segment

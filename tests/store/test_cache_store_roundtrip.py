@@ -1,0 +1,137 @@
+"""IndexCache snapshots through the on-disk store, including across processes.
+
+The process-pool workers are seeded from ``IndexCache.snapshot()``; this
+suite pins that the same entries survive a save → load through the snapshot
+store — content hits and prefix-extend reuse must keep working, in this
+process and in a freshly spawned one.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.ann.cache import IndexCache
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.lsh import LSHIndex
+from repro.store import Snapshot, SnapshotWriter
+from repro.store import codecs
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "src")
+
+
+@pytest.fixture
+def vectors():
+    return np.random.default_rng(21).normal(size=(150, 12)).astype(np.float32)
+
+
+def save_cache(cache, path):
+    writer = SnapshotWriter()
+    meta = codecs.pack(writer, "cache/", codecs.index_cache_state(cache))
+    writer.set_meta(meta)
+    writer.save(path)
+
+
+def load_cache(path, *, mmap=True):
+    snap = Snapshot.open(path, mmap=mmap)
+    return codecs.index_cache_from_state(snap.meta, codecs.unpack(snap, "cache/", snap.meta))
+
+
+class TestCacheThroughStore:
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_content_hit_survives_roundtrip(self, vectors, tmp_path, mmap):
+        cache = IndexCache(max_entries=3)
+        key = ("hnsw", "cosine", (("seed", 0),))
+        built = cache.get_or_build(vectors, lambda: HNSWIndex(seed=0).build(vectors), params_key=key)
+        path = tmp_path / "cache.snap"
+        save_cache(cache, path)
+        loaded = load_cache(path, mmap=mmap)
+        reused = loaded.get_or_build(
+            vectors, lambda: pytest.fail("content hit expected"), params_key=key
+        )
+        assert loaded.stats.exact_hits == 1
+        got_i, got_d = reused.query(vectors[:10], 3)
+        want_i, want_d = built.query(vectors[:10], 3)
+        assert np.array_equal(got_i, want_i)
+        assert got_d.tobytes() == want_d.tobytes()
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_prefix_extend_survives_roundtrip(self, vectors, tmp_path, mmap):
+        cache = IndexCache(max_entries=3)
+        key = ("hnsw", "cosine", (("seed", 4),))
+        cache.get_or_build(vectors, lambda: HNSWIndex(seed=4).build(vectors), params_key=key)
+        path = tmp_path / "cache.snap"
+        save_cache(cache, path)
+        loaded = load_cache(path, mmap=mmap)
+        tail = np.ascontiguousarray(vectors[:20] + np.float32(0.25))
+        grown = np.concatenate([vectors, tail])
+        extended = loaded.get_or_build(
+            grown, lambda: pytest.fail("prefix extend expected"), params_key=key
+        )
+        assert loaded.stats.prefix_hits == 1
+        reference = HNSWIndex(seed=4).build(grown)
+        got_i, got_d = extended.query(grown[:15], 3)
+        want_i, want_d = reference.query(grown[:15], 3)
+        assert np.array_equal(got_i, want_i)
+        assert got_d.tobytes() == want_d.tobytes()
+
+    def test_multiple_backends_and_lru_order(self, vectors, tmp_path):
+        cache = IndexCache(max_entries=4)
+        cache.get_or_build(
+            vectors, lambda: HNSWIndex(seed=1).build(vectors), params_key=("hnsw",)
+        )
+        cache.get_or_build(
+            vectors, lambda: LSHIndex(seed=1, num_tables=2, num_bits=5).build(vectors),
+            params_key=("lsh",),
+        )
+        path = tmp_path / "cache.snap"
+        save_cache(cache, path)
+        loaded = load_cache(path)
+        assert len(loaded) == 2
+        snapshot = loaded.snapshot()
+        assert [entry[0] for entry in snapshot] == [("hnsw",), ("lsh",)]
+        assert isinstance(snapshot[0][2], HNSWIndex)
+        assert isinstance(snapshot[1][2], LSHIndex)
+
+    def test_reuse_across_subprocess_boundary(self, vectors, tmp_path):
+        """A fresh interpreter loads the snapshot and still gets exact reuse."""
+        cache = IndexCache(max_entries=2)
+        key = ("hnsw", "cosine", (("seed", 0),))
+        built = cache.get_or_build(vectors, lambda: HNSWIndex(seed=0).build(vectors), params_key=key)
+        want_i, _ = built.query(vectors[:8], 3)
+        path = tmp_path / "cache.snap"
+        save_cache(cache, path)
+        np.save(tmp_path / "vectors.npy", vectors)
+        snippet = textwrap.dedent(
+            f"""
+            import sys
+            import numpy as np
+            sys.path.insert(0, {SRC!r})
+            from repro.store import Snapshot
+            from repro.store import codecs
+            vectors = np.load({str(tmp_path / "vectors.npy")!r})
+            snap = Snapshot.open({str(path)!r}, mmap=True)
+            cache = codecs.index_cache_from_state(snap.meta, codecs.unpack(snap, "cache/", snap.meta))
+            key = ("hnsw", "cosine", (("seed", 0),))
+            index = cache.get_or_build(vectors, lambda: (_ for _ in ()).throw(AssertionError("miss")), params_key=key)
+            assert cache.stats.exact_hits == 1
+            idx, _ = index.query(vectors[:8], 3)
+            # prefix-extend reuse in the same fresh process
+            grown = np.concatenate([vectors, np.ascontiguousarray(vectors[:10] + np.float32(0.5))])
+            extended = cache.get_or_build(grown, lambda: (_ for _ in ()).throw(AssertionError("miss")), params_key=key)
+            assert cache.stats.prefix_hits == 1
+            assert extended.size == len(grown)
+            print("HITS-OK", ",".join(map(str, idx.reshape(-1).tolist())))
+            """
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", snippet], capture_output=True, text=True
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        line = [l for l in completed.stdout.splitlines() if l.startswith("HITS-OK")][0]
+        assert line.split(" ", 1)[1] == ",".join(map(str, want_i.reshape(-1).tolist()))

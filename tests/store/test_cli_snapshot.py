@@ -1,0 +1,85 @@
+"""CLI snapshot save / load / serve-match, end to end on a generator dataset."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def dataset_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("cli") / "music20"
+    assert cli_main(["generate", "music-20", "--profile", "tiny", "--output", str(directory)]) == 0
+    return directory
+
+
+class TestSnapshotCli:
+    def test_save_load_serve_roundtrip(self, dataset_dir, tmp_path, capsys):
+        snapshot = tmp_path / "fit.snap"
+        assert (
+            cli_main(
+                [
+                    "snapshot", "save", str(dataset_dir),
+                    "--exclude", "source_E", "--output", str(snapshot),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "snapshot written to" in out
+        assert "item-table digest" in out
+        assert snapshot.exists()
+
+        assert cli_main(["snapshot", "load", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "(verified)" in out
+        assert "source_E" not in out  # excluded table is not part of the fit
+        assert "mmap (zero-copy)" in out
+
+        predictions = tmp_path / "preds.json"
+        assert (
+            cli_main(
+                [
+                    "serve-match", str(snapshot), str(dataset_dir),
+                    "--table", "source_E", "--output", str(predictions),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "predicted tuples" in out
+        assert "tuple F1" in out
+        groups = json.loads(predictions.read_text())
+        assert groups and all(len(group) >= 2 for group in groups)
+        assert any(any(source == "source_E" for source, _ in group) for group in groups)
+
+    def test_load_copy_mode(self, dataset_dir, tmp_path, capsys):
+        snapshot = tmp_path / "all.snap"
+        assert cli_main(["snapshot", "save", str(dataset_dir), "--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        assert cli_main(["snapshot", "load", str(snapshot), "--copy"]) == 0
+        assert "copy" in capsys.readouterr().out
+
+    def test_serve_match_rejects_known_source(self, dataset_dir, tmp_path, capsys):
+        snapshot = tmp_path / "all.snap"
+        assert cli_main(["snapshot", "save", str(dataset_dir), "--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        assert (
+            cli_main(["serve-match", str(snapshot), str(dataset_dir), "--table", "source_A"]) == 2
+        )
+        assert "already part of the snapshot" in capsys.readouterr().err
+
+    def test_save_rejects_unknown_exclude(self, dataset_dir, tmp_path, capsys):
+        assert (
+            cli_main(
+                [
+                    "snapshot", "save", str(dataset_dir),
+                    "--exclude", "nope", "--output", str(tmp_path / "x.snap"),
+                ]
+            )
+            == 2
+        )
+        assert "unknown tables" in capsys.readouterr().err

@@ -1,0 +1,228 @@
+"""Object codecs: every flat-array core type round-trips byte-identically."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann.brute_force import BruteForceIndex
+from repro.ann.cache import IndexCache
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.lsh import LSHIndex
+from repro.config import MultiEMConfig, ParallelConfig
+from repro.core.merging import ItemTable, MergeItem
+from repro.core.representation import EmbeddingStore, TableEmbeddings
+from repro.data.entity import EntityRef
+from repro.exceptions import StoreError
+from repro.store import Snapshot, SnapshotWriter
+from repro.store import codecs
+
+
+def roundtrip(state, from_state, tmp_path, *, mmap=True):
+    """Write one bundle to disk and read it back (mmap by default)."""
+    writer = SnapshotWriter()
+    meta = codecs.pack(writer, "obj/", state)
+    writer.set_meta(meta)
+    path = tmp_path / "bundle.bin"
+    writer.save(path)
+    snap = Snapshot.open(path, mmap=mmap)
+    return from_state(snap.meta, codecs.unpack(snap, "obj/", snap.meta))
+
+
+@pytest.fixture
+def item_table():
+    rng = np.random.default_rng(3)
+    items = [
+        MergeItem(
+            members=(EntityRef("a", 0), EntityRef("b", 4)),
+            vector=rng.normal(size=8).astype(np.float32),
+        ),
+        MergeItem(members=(EntityRef("b", 1),), vector=rng.normal(size=8).astype(np.float32)),
+        MergeItem(
+            members=(EntityRef("a", 2), EntityRef("c", 0), EntityRef("b", 9)),
+            vector=rng.normal(size=8).astype(np.float32),
+        ),
+    ]
+    return ItemTable.from_items(items)
+
+
+class TestItemTable:
+    def test_roundtrip_byte_identical(self, item_table, tmp_path):
+        for mmap in (True, False):
+            loaded = roundtrip(
+                codecs.item_table_state(item_table),
+                codecs.item_table_from_state,
+                tmp_path,
+                mmap=mmap,
+            )
+            assert codecs.item_table_digest(loaded) == codecs.item_table_digest(item_table)
+            assert loaded.sources == item_table.sources
+            assert [i.members for i in loaded.to_items()] == [
+                i.members for i in item_table.to_items()
+            ]
+
+    def test_digest_tracks_content(self, item_table):
+        other = ItemTable(
+            item_table.vectors.copy(),
+            item_table.member_sources,
+            item_table.member_indices,
+            item_table.member_offsets,
+            item_table.sources,
+        )
+        assert codecs.item_table_digest(other) == codecs.item_table_digest(item_table)
+        other.vectors[0, 0] += 1.0
+        assert codecs.item_table_digest(other) != codecs.item_table_digest(item_table)
+
+
+class TestEmbeddingStore:
+    def test_roundtrip_preserves_blocks_and_resolution(self, tmp_path):
+        rng = np.random.default_rng(5)
+        store = EmbeddingStore()
+        for name, rows in (("t1", 4), ("t0", 3)):  # registration order != sorted
+            vectors = rng.normal(size=(rows, 6)).astype(np.float32)
+            store.add_table(
+                TableEmbeddings(name, [EntityRef(name, i) for i in range(rows)], vectors)
+            )
+        loaded = roundtrip(
+            codecs.embedding_store_state(store), codecs.embedding_store_from_state, tmp_path
+        )
+        assert codecs.embedding_store_digest(loaded) == codecs.embedding_store_digest(store)
+        assert list(loaded.blocks()) == ["t1", "t0"]
+        assert loaded.matrix.tobytes() == store.matrix.tobytes()
+        ref = EntityRef("t0", 2)
+        assert loaded[ref].tobytes() == store[ref].tobytes()
+        rows = loaded.member_rows(("t0", "t1"), np.array([0, 1]), np.array([2, 3]))
+        assert rows.tolist() == store.member_rows(("t0", "t1"), np.array([0, 1]), np.array([2, 3])).tolist()
+
+
+@pytest.fixture
+def vectors():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(120, 16)).astype(np.float32)
+
+
+class TestIndexes:
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+    def test_hnsw_roundtrip_queries_and_graph(self, vectors, metric, tmp_path):
+        index = HNSWIndex(metric=metric, max_degree=6, ef_construction=30, seed=7).build(vectors)
+        loaded = roundtrip(codecs.index_state(index), codecs.index_from_state, tmp_path)
+        queries = vectors[:20]
+        got_i, got_d = loaded.query(queries, 3)
+        want_i, want_d = index.query(queries, 3)
+        assert np.array_equal(got_i, want_i)
+        assert got_d.tobytes() == want_d.tobytes()
+        n = len(index._node_levels)
+        for layer in range(index._max_level + 1):
+            assert np.array_equal(
+                loaded._layer_neighbors[layer][:n], index._layer_neighbors[layer][:n]
+            )
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_hnsw_extend_after_load_continues_rng_stream(self, vectors, tmp_path, mmap):
+        """save → load → extend is byte-identical to build-all-at-once."""
+        head, tail = vectors[:90], vectors[90:]
+        index = HNSWIndex(max_degree=6, ef_construction=30, seed=3).build(head)
+        loaded = roundtrip(
+            codecs.index_state(index), codecs.index_from_state, tmp_path, mmap=mmap
+        )
+        loaded.extend(tail)
+        reference = HNSWIndex(max_degree=6, ef_construction=30, seed=3).build(vectors)
+        n = vectors.shape[0]
+        assert loaded._entry_point == reference._entry_point
+        assert loaded._max_level == reference._max_level
+        for layer in range(reference._max_level + 1):
+            assert np.array_equal(
+                loaded._layer_neighbors[layer][:n], reference._layer_neighbors[layer][:n]
+            )
+            assert (
+                loaded._layer_dists[layer][:n].tobytes()
+                == reference._layer_dists[layer][:n].tobytes()
+            )
+        got_i, got_d = loaded.query(vectors[:25], 4)
+        want_i, want_d = reference.query(vectors[:25], 4)
+        assert np.array_equal(got_i, want_i)
+        assert got_d.tobytes() == want_d.tobytes()
+
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean"])
+    def test_lsh_roundtrip(self, vectors, metric, tmp_path):
+        index = LSHIndex(metric=metric, num_tables=3, num_bits=6, seed=5).build(vectors)
+        loaded = roundtrip(codecs.index_state(index), codecs.index_from_state, tmp_path)
+        queries = vectors[:30] + np.float32(0.01)
+        got_i, got_d = loaded.query(queries, 4)
+        want_i, want_d = index.query(queries, 4)
+        assert np.array_equal(got_i, want_i)
+        assert got_d.tobytes() == want_d.tobytes()
+
+    def test_brute_force_roundtrip(self, vectors, tmp_path):
+        index = BruteForceIndex(batch_size=32).build(vectors)
+        loaded = roundtrip(codecs.index_state(index), codecs.index_from_state, tmp_path)
+        got_i, got_d = loaded.query(vectors[:10], 5)
+        want_i, want_d = index.query(vectors[:10], 5)
+        assert np.array_equal(got_i, want_i)
+        assert got_d.tobytes() == want_d.tobytes()
+
+    def test_unbuilt_index_rejected(self):
+        with pytest.raises(Exception, match="unbuilt"):
+            codecs.index_state(HNSWIndex())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StoreError, match="unknown index backend"):
+            codecs.index_from_state({"backend": "flann"}, {})
+
+
+class TestIndexCache:
+    def test_cache_roundtrip_preserves_hits(self, vectors, tmp_path):
+        cache = IndexCache(max_entries=4)
+        key = ("hnsw", "cosine", (("seed", 0),))
+        cache.get_or_build(vectors, lambda: HNSWIndex(seed=0).build(vectors), params_key=key)
+        loaded = roundtrip(codecs.index_cache_state(cache), codecs.index_cache_from_state, tmp_path)
+        assert len(loaded) == 1
+        # Content hit with the exact runtime-constructed key.
+        loaded.get_or_build(
+            vectors, lambda: pytest.fail("should have hit"), params_key=key
+        )
+        assert loaded.stats.exact_hits == 1
+
+
+class TestEncoders:
+    def test_hashed_encoder_roundtrip_same_vectors(self, tmp_path):
+        from repro.embedding import HashedNGramEncoder
+
+        corpus = ["alpha beta 42", "beta gamma", "gamma delta épsilon", "42 42 count"]
+        encoder = HashedNGramEncoder(dimension=64, seed=9).fit(corpus)
+        loaded = roundtrip(codecs.encoder_state(encoder), codecs.encoder_from_state, tmp_path)
+        texts = ["alpha gamma 42", "unseen token stream"]
+        assert loaded.encode(texts).tobytes() == encoder.encode(texts).tobytes()
+        assert loaded._vocabulary.num_documents == encoder._vocabulary.num_documents
+        assert loaded._vocabulary.token_to_index == encoder._vocabulary.token_to_index
+
+    def test_caching_wrapper_unwrapped(self, tmp_path):
+        from repro.embedding import CachingEncoder, HashedNGramEncoder
+
+        encoder = CachingEncoder(HashedNGramEncoder(dimension=32).fit(["a b", "b c"]))
+        loaded = roundtrip(codecs.encoder_state(encoder), codecs.encoder_from_state, tmp_path)
+        assert loaded.encode(["a c"]).tobytes() == encoder.inner.encode(["a c"]).tobytes()
+
+    def test_tfidf_svd_roundtrip_same_vectors(self, tmp_path):
+        from repro.embedding.svd import TfidfSvdEncoder
+
+        corpus = [f"record number {i} with shared words" for i in range(30)]
+        encoder = TfidfSvdEncoder(dimension=8, seed=1).fit(corpus)
+        loaded = roundtrip(codecs.encoder_state(encoder), codecs.encoder_from_state, tmp_path)
+        texts = ["record number 3 with shared words", "completely different"]
+        assert loaded.encode(texts).tobytes() == encoder.encode(texts).tobytes()
+
+    def test_unfitted_tfidf_rejected(self):
+        from repro.embedding.svd import TfidfSvdEncoder
+
+        with pytest.raises(StoreError, match="unfitted"):
+            codecs.encoder_state(TfidfSvdEncoder())
+
+
+class TestConfig:
+    def test_config_roundtrip(self):
+        config = MultiEMConfig(
+            parallel=ParallelConfig(enabled=True, backend="process", shared_memory=True)
+        ).with_overrides(merging={"m": 0.35, "index": "lsh"}, pruning={"epsilon": 1.2})
+        restored = codecs.config_from_meta(codecs.config_to_meta(config))
+        assert restored == config

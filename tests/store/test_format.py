@@ -1,0 +1,210 @@
+"""Snapshot container: layout, zero-copy mmap semantics, and error handling."""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store.format import (
+    FORMAT_VERSION,
+    MAGIC,
+    Snapshot,
+    SnapshotWriter,
+    decode_strings,
+    encode_strings,
+    tag_tuples,
+    untag_tuples,
+)
+
+
+@pytest.fixture
+def sample_arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "vectors": rng.normal(size=(17, 5)).astype(np.float32),
+        "offsets": np.arange(18, dtype=np.int64),
+        "flags": rng.integers(0, 2, size=17).astype(bool),
+        "empty": np.zeros((0, 4), dtype=np.float32),
+    }
+
+
+def _write(path, arrays, meta):
+    writer = SnapshotWriter()
+    for name, array in arrays.items():
+        writer.add_array(name, array)
+    writer.set_meta(meta)
+    writer.save(path)
+
+
+class TestRoundTrip:
+    def test_file_roundtrip_bytes_exact(self, tmp_path, sample_arrays):
+        path = tmp_path / "snap.bin"
+        meta = {"hello": "wörld", "n": 17, "nested": {"values": [1, 2.5, None, True]}}
+        _write(path, sample_arrays, meta)
+        for mmap in (True, False):
+            with Snapshot.open(path, mmap=mmap) as snap:
+                assert snap.meta == meta
+                assert snap.names() == list(sample_arrays)
+                for name, array in sample_arrays.items():
+                    loaded = snap.array(name)
+                    assert loaded.dtype == array.dtype
+                    assert loaded.shape == array.shape
+                    assert loaded.tobytes() == array.tobytes()
+
+    def test_mmap_arrays_are_readonly_views(self, tmp_path, sample_arrays):
+        path = tmp_path / "snap.bin"
+        _write(path, sample_arrays, {})
+        snap = Snapshot.open(path, mmap=True)
+        loaded = snap.array("vectors")
+        assert not loaded.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            loaded[0, 0] = 1.0
+        # Zero-copy: the array's memory is the mapping, not a heap copy.
+        assert loaded.base is not None
+        snap.close()
+
+    def test_copy_mode_arrays_are_independent(self, tmp_path, sample_arrays):
+        path = tmp_path / "snap.bin"
+        _write(path, sample_arrays, {})
+        snap = Snapshot.open(path, mmap=False)
+        loaded = snap.array("vectors")
+        loaded[0, 0] = 123.0  # writable, detached from the file
+        again = Snapshot.open(path, mmap=False).array("vectors")
+        assert again[0, 0] == sample_arrays["vectors"][0, 0]
+
+    def test_segments_are_64_byte_aligned(self, tmp_path, sample_arrays):
+        path = tmp_path / "snap.bin"
+        _write(path, sample_arrays, {})
+        data = path.read_bytes()
+        _, _, manifest_offset, manifest_length = struct.unpack("<8sQQQ", data[:32])
+        manifest = json.loads(data[manifest_offset : manifest_offset + manifest_length])
+        for entry in manifest["arrays"].values():
+            assert entry["offset"] % 64 == 0
+
+    def test_buffer_roundtrip(self, sample_arrays):
+        writer = SnapshotWriter()
+        for name, array in sample_arrays.items():
+            writer.add_array(name, array)
+        writer.set_meta({"via": "buffer"})
+        buffer = bytearray(writer.required_size())
+        writer.write_into(buffer)
+        snap = Snapshot.from_buffer(buffer)
+        assert snap.meta == {"via": "buffer"}
+        assert snap.array("vectors").tobytes() == sample_arrays["vectors"].tobytes()
+
+    def test_shared_buffers_stored_once(self, tmp_path):
+        """Registering the same array under several names writes one segment.
+
+        A fitted pipeline aliases its vector plane heavily (integrated
+        table, cache entry key, index vectors are one ndarray); the snapshot
+        must stay at unique-data size.
+        """
+        vectors = np.random.default_rng(1).normal(size=(256, 64)).astype(np.float32)
+        writer = SnapshotWriter()
+        writer.add_array("table/vectors", vectors)
+        writer.add_array("cache/e0/vectors", vectors)
+        writer.add_array("cache/e0/index/vectors", vectors)
+        writer.add_array("other", vectors.copy())  # distinct buffer: own segment
+        writer.set_meta({})
+        path = tmp_path / "aliased.bin"
+        writer.save(path)
+        assert path.stat().st_size < 3 * vectors.nbytes  # not 4 copies + overhead
+        with Snapshot.open(path, mmap=True) as snap:
+            entries = snap._entries
+            assert entries["table/vectors"]["offset"] == entries["cache/e0/vectors"]["offset"]
+            assert entries["table/vectors"]["offset"] == entries["cache/e0/index/vectors"]["offset"]
+            assert entries["other"]["offset"] != entries["table/vectors"]["offset"]
+            assert snap.total_bytes() == 2 * vectors.nbytes
+            for name in ("table/vectors", "cache/e0/vectors", "cache/e0/index/vectors", "other"):
+                assert snap.array(name).tobytes() == vectors.tobytes()
+
+    def test_strings_roundtrip(self, tmp_path):
+        strings = ["", "plain", "ünïcode ✓", "with\nnewline", "nul\0byte"]
+        writer = SnapshotWriter()
+        writer.add_strings("names", strings)
+        writer.set_meta({})
+        path = tmp_path / "s.bin"
+        writer.save(path)
+        with Snapshot.open(path) as snap:
+            assert snap.strings("names") == strings
+        utf8, offsets = encode_strings(strings)
+        assert decode_strings(utf8, offsets) == strings
+
+    def test_save_is_atomic(self, tmp_path, sample_arrays, monkeypatch):
+        path = tmp_path / "snap.bin"
+        _write(path, sample_arrays, {"generation": 1})
+        before = path.read_bytes()
+        writer = SnapshotWriter()
+        writer.add_array("x", np.zeros(4))
+        writer.set_meta({"generation": 2})
+        # Interrupt the write at the publish step: the fully-written temp file
+        # never replaces the original, and no temp litter survives.
+        def failing_replace(src, dst):
+            raise OSError("interrupted")
+        monkeypatch.setattr(os, "replace", failing_replace)
+        with pytest.raises(OSError, match="interrupted"):
+            writer.save(path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert not [p for p in os.listdir(tmp_path) if ".tmp." in p]
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTASNAP" + b"\0" * 64)
+        with pytest.raises(StoreError, match="magic"):
+            Snapshot.open(path)
+
+    def test_unknown_version_rejected(self, tmp_path, sample_arrays):
+        path = tmp_path / "snap.bin"
+        _write(path, sample_arrays, {})
+        data = bytearray(path.read_bytes())
+        data[8:16] = struct.pack("<Q", FORMAT_VERSION + 1)
+        path.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="version"):
+            Snapshot.open(path)
+        assert MAGIC == b"REPROSNP"
+
+    def test_truncated_file_rejected(self, tmp_path, sample_arrays):
+        path = tmp_path / "snap.bin"
+        _write(path, sample_arrays, {})
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(StoreError, match="past the buffer end"):
+            Snapshot.open(path)
+
+    def test_duplicate_and_object_arrays_rejected(self):
+        writer = SnapshotWriter()
+        writer.add_array("a", np.zeros(3))
+        with pytest.raises(StoreError, match="duplicate"):
+            writer.add_array("a", np.zeros(3))
+        with pytest.raises(StoreError, match="object dtype"):
+            writer.add_array("objs", np.array([object()]))
+
+    def test_missing_array_name(self, tmp_path, sample_arrays):
+        path = tmp_path / "snap.bin"
+        _write(path, sample_arrays, {})
+        with Snapshot.open(path) as snap:
+            with pytest.raises(StoreError, match="no array"):
+                snap.array("nope")
+
+    def test_too_small_buffer_rejected(self, sample_arrays):
+        writer = SnapshotWriter()
+        writer.add_array("v", sample_arrays["vectors"])
+        with pytest.raises(StoreError, match="buffer holds"):
+            writer.write_into(bytearray(16))
+
+
+class TestTupleTagging:
+    def test_nested_tuples_roundtrip_exactly(self):
+        key = ("hnsw", "cosine", (("ef", 100), ("probe", True), ("ratio", 0.25)))
+        encoded = json.loads(json.dumps(tag_tuples(key)))
+        restored = untag_tuples(encoded)
+        assert restored == key
+        assert hash(restored) == hash(key)
+        assert untag_tuples(json.loads(json.dumps(tag_tuples([1, (2, [3, ()])])))) == [1, (2, [3, ()])]

@@ -1,0 +1,146 @@
+"""Load-and-serve sessions: save → load → extend pinned against in-memory runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import paper_default_config
+from repro.core.incremental import IncrementalMultiEM
+from repro.data.serialization import serialize_table
+from repro.exceptions import DataError, StoreError
+from repro.store import MatchSession, load_matcher, save_session
+from repro.store.codecs import embedding_store_digest, item_table_digest, tuples_digest
+
+
+@pytest.fixture(scope="module")
+def split(music_tiny):
+    names = sorted(music_tiny.tables)
+    base = music_tiny.subset(names[:-1], name=music_tiny.name)
+    return base, music_tiny.tables[names[-1]]
+
+
+@pytest.fixture(scope="module")
+def reference(split):
+    """In-memory fit + add_table — the behaviour a snapshot must reproduce."""
+    base, held_out = split
+    matcher = IncrementalMultiEM(paper_default_config(base.name))
+    fit_result = matcher.fit(base)
+    fit_table_digest = item_table_digest(matcher.integrated_table)
+    fit_store_digest = embedding_store_digest(matcher._store)
+    extended = matcher.add_table(held_out)
+    return {
+        "fit_tuples": fit_result.tuples,
+        "fit_table_digest": fit_table_digest,
+        "fit_store_digest": fit_store_digest,
+        "extended_tuples": extended.tuples,
+        "extended_table_digest": item_table_digest(matcher.integrated_table),
+    }
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(split, tmp_path_factory):
+    base, _ = split
+    matcher = IncrementalMultiEM(paper_default_config(base.name))
+    matcher.fit(base)
+    path = tmp_path_factory.mktemp("session") / "fit.snap"
+    matcher.save(path)
+    return path
+
+
+class TestSessionRoundTrip:
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_restored_state_is_byte_identical(self, snapshot_path, reference, mmap):
+        matcher = load_matcher(snapshot_path, mmap=mmap)
+        assert item_table_digest(matcher.integrated_table) == reference["fit_table_digest"]
+        assert embedding_store_digest(matcher._store) == reference["fit_store_digest"]
+
+    @pytest.mark.parametrize("mmap", [True, False])
+    def test_match_new_table_reproduces_in_memory_tuples(
+        self, snapshot_path, split, reference, mmap
+    ):
+        """The pinned contract: a restored session's extend == the in-memory run."""
+        _, held_out = split
+        with MatchSession.load(snapshot_path, mmap=mmap) as session:
+            result = session.match_new_table(held_out)
+            assert result.tuples == reference["extended_tuples"]
+            assert tuples_digest(result.tuples) == tuples_digest(reference["extended_tuples"])
+            assert (
+                item_table_digest(session.matcher.integrated_table)
+                == reference["extended_table_digest"]
+            )
+
+    def test_result_without_extend_matches_fit(self, snapshot_path, reference):
+        with MatchSession.load(snapshot_path) as session:
+            assert session.matcher._result().tuples == reference["fit_tuples"]
+
+    def test_query_finds_known_records(self, snapshot_path, split):
+        base, _ = split
+        table = base.table_list()[0]
+        texts = serialize_table(table, None, max_tokens=64)[:3]
+        with MatchSession.load(snapshot_path) as session:
+            hits = session.query(texts, k=2)
+            assert len(hits) == 3
+            # Each serialized record must find an integrated tuple containing it.
+            for row, row_hits in enumerate(hits):
+                assert row_hits, f"no hit for row {row}"
+                members = row_hits[0][0]
+                assert any(ref.source == table.name and ref.index == row for ref in members)
+                assert row_hits[0][1] <= session.matcher.config.merging.m
+
+    def test_query_far_text_returns_nothing(self, snapshot_path):
+        with MatchSession.load(snapshot_path) as session:
+            assert session.query(["zzz qqqqq xyzzy 000000 nothing alike"], k=1) == [[]]
+
+    def test_known_sources_and_digests(self, snapshot_path, split):
+        base, _ = split
+        session = MatchSession.load(snapshot_path)
+        assert session.known_sources == tuple(sorted(base.tables))
+        assert set(session.digests) == {"item_table", "embedding_store", "payload"}
+
+
+class TestSessionErrors:
+    def test_unfitted_matcher_rejected(self, tmp_path):
+        matcher = IncrementalMultiEM(paper_default_config("music-20"))
+        with pytest.raises(DataError, match="unfitted"):
+            save_session(matcher, tmp_path / "x.snap")
+
+    def test_corruption_detected_by_digest(self, snapshot_path, tmp_path):
+        data = bytearray(snapshot_path.read_bytes())
+        # Flip one byte inside the first array segment (past the header).
+        data[80] ^= 0xFF
+        corrupted = tmp_path / "corrupt.snap"
+        corrupted.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="digests do not match"):
+            MatchSession.load(corrupted)
+
+    @pytest.mark.parametrize("prefix", ["encoder/", "cache/"])
+    def test_corruption_outside_core_structures_detected(self, snapshot_path, tmp_path, prefix):
+        """The payload digest covers every segment, not just table and store."""
+        from repro.store import Snapshot
+
+        with Snapshot.open(snapshot_path) as snap:
+            target = next(
+                name
+                for name in snap.names()
+                if name.startswith(prefix) and snap._entries[name]["nbytes"] > 0
+                and "alias_of" not in snap._entries[name]
+            )
+            entry = snap._entries[target]
+        data = bytearray(snapshot_path.read_bytes())
+        data[entry["offset"]] ^= 0xFF
+        corrupted = tmp_path / "corrupt2.snap"
+        corrupted.write_bytes(bytes(data))
+        with pytest.raises(StoreError, match="digests do not match"):
+            MatchSession.load(corrupted)
+
+    def test_wrong_snapshot_type_rejected(self, tmp_path):
+        from repro.store import SnapshotWriter
+
+        writer = SnapshotWriter()
+        writer.add_array("x", np.zeros(3))
+        writer.set_meta({"type": "something_else"})
+        path = tmp_path / "other.snap"
+        writer.save(path)
+        with pytest.raises(StoreError, match="does not hold a MultiEM session"):
+            MatchSession.load(path)
