@@ -468,6 +468,93 @@ def run_lsh_dedup_bench(rows: int = 10_000, repeats: int = 3) -> dict:
     }
 
 
+def run_snapshot_delta_bench(
+    dataset_name: str = "music-200",
+    profile: str = "bench",
+    *,
+    appends: int = 2,
+    repeats: int = 3,
+) -> dict:
+    """Delta-save vs full-save cost under rolling ``add_table`` ingest.
+
+    Fits the incremental matcher on all but the last ``appends`` tables,
+    writes the base snapshot, then folds the held-out tables in one at a
+    time. At every step both save modes run against the *same* live state
+    (best of N each): ``save_session_delta`` writes only the changed bytes
+    as an append-only chain link, ``save_session`` rewrites everything. The
+    matcher's recorded lineage is restored between trials so each delta is
+    measured against the same parent.
+    """
+    import tempfile
+
+    from repro.core.incremental import IncrementalMultiEM
+    from repro.store import save_session
+    from repro.store.session import save_session_delta
+
+    dataset = load_benchmark(dataset_name, profile=profile)
+    rows = sum(len(table) for table in dataset.table_list())
+    names = sorted(dataset.tables)
+    held_out = names[-appends:]
+    matcher = IncrementalMultiEM(paper_default_config(dataset_name))
+    matcher.fit(dataset.subset(names[:-appends], name=dataset.name))
+    steps = []
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "s.snap")
+            save_session(matcher, base_path)
+            base_bytes = os.path.getsize(base_path)
+            for depth, name in enumerate(held_out, start=1):
+                matcher.add_table(dataset.tables[name])
+                parent = dict(matcher._base)  # lineage to diff every trial against
+                delta_path = os.path.join(tmp, f"s.snap.d{depth}")
+                full_path = os.path.join(tmp, f"full{depth}.snap")
+                delta_best = full_best = None
+                for _ in range(max(repeats, 1)):
+                    started = time.perf_counter()
+                    save_session_delta(matcher, delta_path)
+                    elapsed = time.perf_counter() - started
+                    delta_best = elapsed if delta_best is None or elapsed < delta_best else delta_best
+                    matcher._base = dict(parent)
+                    started = time.perf_counter()
+                    save_session(matcher, full_path)
+                    elapsed = time.perf_counter() - started
+                    full_best = elapsed if full_best is None or elapsed < full_best else full_best
+                    matcher._base = dict(parent)
+                delta_bytes = os.path.getsize(delta_path)
+                full_bytes = os.path.getsize(full_path)
+                steps.append(
+                    {
+                        "depth": depth,
+                        "table": name,
+                        "delta_bytes": delta_bytes,
+                        "full_bytes": full_bytes,
+                        "delta_over_full": round(delta_bytes / full_bytes, 3),
+                        "seconds_delta_save": round(delta_best, 4),
+                        "seconds_full_save": round(full_best, 4),
+                    }
+                )
+                # Advance the lineage onto this delta for the next append.
+                save_session_delta(matcher, delta_path)
+    finally:
+        matcher.close()
+    tip = steps[-1]
+    return {
+        "dataset": dataset_name,
+        "profile": profile,
+        "backend": "snapshot",
+        "kind": "snapshot_delta_save",
+        "rows": rows,
+        "repeats": max(repeats, 1),
+        "appended_tables": appends,
+        "base_bytes": base_bytes,
+        "steps": steps,
+        "chain_bytes": base_bytes + sum(step["delta_bytes"] for step in steps),
+        "delta_over_full_first_append": steps[0]["delta_over_full"],
+        "delta_over_full_tip": tip["delta_over_full"],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
 def write_bench_record(record: dict, path: str = BENCH_JSON_PATH) -> None:
     """Append one record to the JSON trail (created on first write).
 
@@ -600,6 +687,29 @@ def test_bench_plane_transport(bench_profile):
         f"{record['seconds_plane_roundtrip']*1e3:.1f}ms ({record['plane_speedup']:.2f}x)"
     )
     assert record["seconds_plane_roundtrip"] > 0
+
+
+def test_bench_snapshot_delta(bench_profile):
+    """Delta-save bytes/time vs a full rewrite under rolling ingest."""
+    record = run_snapshot_delta_bench(
+        "music-200", bench_profile, repeats=3 if bench_profile != "tiny" else 1
+    )
+    write_bench_record(record)
+    for step in record["steps"]:
+        print(
+            f"\n  append {step['depth']} ({step['table']}): delta "
+            f"{step['delta_bytes']} bytes / {step['seconds_delta_save']:.3f}s vs full "
+            f"{step['full_bytes']} bytes / {step['seconds_full_save']:.3f}s "
+            f"({step['delta_over_full']:.1%} of the rewrite)"
+        )
+    first = record["steps"][0]
+    assert first["delta_bytes"] < first["full_bytes"]
+    if bench_profile != "tiny":
+        # The acceptance bar: one appended table must cost well under a
+        # quarter of rewriting the whole state.
+        assert first["delta_over_full"] < 0.25, (
+            f"delta save wrote {first['delta_over_full']:.1%} of a full rewrite"
+        )
 
 
 def test_bench_lsh_dedup(bench_profile):

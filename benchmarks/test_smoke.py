@@ -264,6 +264,45 @@ def test_smoke_shared_memory_pool_roundtrip():
 
 
 @pytest.mark.smoke
+def test_smoke_snapshot_chain_roundtrip(tmp_path):
+    """save → append → compact → load: every path lands on the same digests.
+
+    The tier-1 guarantee for the delta-chain store: a rolling-ingest delta
+    and its compaction both reconstruct exactly the state the live matcher
+    held, and the delta genuinely writes less than the base it extends.
+    """
+    from repro.config import paper_default_config
+    from repro.core.incremental import IncrementalMultiEM
+    from repro.data.generators import load_benchmark
+    from repro.store import compact_session, load_matcher
+    from repro.store.codecs import embedding_store_digest, item_table_digest
+
+    dataset = load_benchmark("music-20", profile="tiny")
+    names = sorted(dataset.tables)
+    matcher = IncrementalMultiEM(paper_default_config("music-20"))
+    started = time.perf_counter()
+    matcher.fit(dataset.subset(names[:-1], name=dataset.name))
+    base = tmp_path / "s.snap"
+    matcher.save(base)
+    matcher.add_table(dataset.tables[names[-1]])
+    delta = tmp_path / "s.snap.d1"
+    matcher.save(delta)  # auto mode: a base exists, so this is a chain delta
+    want_table = item_table_digest(matcher.integrated_table)
+    want_store = embedding_store_digest(matcher._store)
+    matcher.close()
+    compacted = tmp_path / "compacted.snap"
+    compact_session(delta, compacted)
+    assert delta.stat().st_size < base.stat().st_size, "delta did not save bytes"
+    for path in (delta, compacted):
+        loaded = load_matcher(path)
+        assert item_table_digest(loaded.integrated_table) == want_table
+        assert embedding_store_digest(loaded._store) == want_store
+        loaded.close()
+    elapsed = time.perf_counter() - started
+    assert elapsed < MERGE_CEILING_SECONDS, f"chain round trip took {elapsed:.1f}s"
+
+
+@pytest.mark.smoke
 def test_smoke_brute_force_batched_query(smoke_vectors):
     a, b = smoke_vectors
     index = BruteForceIndex(batch_size=128).build(a)

@@ -61,15 +61,16 @@ class BruteForceIndex(NearestNeighborIndex):
 
     # --------------------------------------------------------------- snapshot
     def snapshot_state(self) -> tuple[dict, dict[str, np.ndarray]]:
-        """State bundle for :mod:`repro.store`: JSON-able meta + named arrays."""
+        """State bundle for :mod:`repro.store`: JSON-able meta + named arrays.
+
+        The prepared row statistics are not stored: they are a deterministic
+        per-row function of the vectors, recomputed byte-identically by
+        :meth:`~repro.ann.distances.PreparedVectors.from_state` on restore.
+        """
         if self._vectors is None:
             raise IndexError_("cannot snapshot an unbuilt index")
         assert self._prepared is not None
         arrays: dict[str, np.ndarray] = {"vectors": self._prepared.vectors}
-        if self.metric == "cosine":
-            arrays["normed"] = self._prepared._normed
-        else:
-            arrays["squared_norms"] = self._prepared._squared_norms
         meta = {"backend": "brute-force", "metric": self.metric, "batch_size": self.batch_size}
         return meta, arrays
 

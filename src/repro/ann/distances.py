@@ -206,15 +206,19 @@ class PreparedVectors:
         normed: np.ndarray | None = None,
         squared_norms: np.ndarray | None = None,
     ) -> "PreparedVectors":
-        """Rehydrate from previously prepared arrays (snapshot restore path).
+        """Rehydrate for the snapshot restore path.
 
-        The prepared arrays are adopted verbatim — no recomputation — so a
-        restored kernel produces the exact bytes the saved one did even if a
-        future numpy changes how the preparation would reduce.
+        Prepared arrays, when given (older snapshots stored them), are
+        adopted verbatim. Current snapshots omit them: the row statistics
+        are a deterministic per-row function of the vectors, so recomputing
+        them here reproduces the exact bytes the saved kernel held — and
+        drops the largest derived plane from every snapshot file.
         """
         _check_metric(metric)
-        if (normed is None) == (squared_norms is None):
-            raise ConfigurationError("exactly one of normed/squared_norms must be given")
+        if normed is None and squared_norms is None:
+            return cls(vectors, metric)
+        if normed is not None and squared_norms is not None:
+            raise ConfigurationError("at most one of normed/squared_norms may be given")
         if (normed is None) != (metric != "cosine"):
             raise ConfigurationError(f"prepared arrays do not match metric {metric!r}")
         prepared = object.__new__(cls)

@@ -349,11 +349,12 @@ class HNSWIndex(NearestNeighborIndex):
         """State bundle for :mod:`repro.store`: JSON-able meta + named arrays.
 
         Adjacency tables are trimmed to the ``n`` inserted nodes (spare
-        capacity rows are an allocation detail, not state), and the prepared
-        distance arrays are saved verbatim so restored distances are the
-        exact bytes this index computes. The level-sampling RNG state rides
-        in the meta, which is what lets ``extend`` continue the stream after
-        a save → load round trip exactly as it would have in memory.
+        capacity rows are an allocation detail, not state). The prepared
+        distance arrays are *not* stored — they are a deterministic per-row
+        function of the vectors, recomputed byte-identically on restore.
+        The level-sampling RNG state rides in the meta, which is what lets
+        ``extend`` continue the stream after a save → load round trip
+        exactly as it would have in memory.
         """
         if self._vectors is None or self._rng is None:
             raise IndexError_("cannot snapshot an unbuilt index")
@@ -363,10 +364,6 @@ class HNSWIndex(NearestNeighborIndex):
             "vectors": self._prepared.vectors,
             "node_levels": np.asarray(self._node_levels, dtype=np.int64),
         }
-        if self.metric == "cosine":
-            arrays["normed"] = self._prepared._normed
-        else:
-            arrays["squared_norms"] = self._prepared._squared_norms
         for layer in range(len(self._layer_neighbors)):
             arrays[f"layer{layer}/neighbors"] = self._layer_neighbors[layer][:n]
             arrays[f"layer{layer}/dists"] = self._layer_dists[layer][:n]

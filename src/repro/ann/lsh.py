@@ -175,16 +175,14 @@ class LSHIndex(NearestNeighborIndex):
 
         Saves the hyperplanes and CSR bucket tables verbatim (they are
         derived from the seed, but storing the bytes keeps restored probes
-        exact under any future RNG change) plus the prepared distance arrays.
+        exact under any future RNG change). The prepared distance arrays
+        are not stored — they are a deterministic per-row function of the
+        vectors, recomputed byte-identically on restore.
         """
         if self._vectors is None:
             raise IndexError_("cannot snapshot an unbuilt index")
         assert self._prepared is not None
         arrays: dict[str, np.ndarray] = {"vectors": self._prepared.vectors}
-        if self.metric == "cosine":
-            arrays["normed"] = self._prepared._normed
-        else:
-            arrays["squared_norms"] = self._prepared._squared_norms
         for t in range(self.num_tables):
             arrays[f"table{t}/planes"] = self._planes[t]
             arrays[f"table{t}/signatures"] = self._bucket_signatures[t]

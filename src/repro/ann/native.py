@@ -167,18 +167,27 @@ def _compile_kernel() -> ctypes.CDLL:
     if not os.path.exists(out_path):
         tmp_path = f"{out_path}.{os.getpid()}.tmp"
         compiler = os.environ.get("CC", "gcc")
-        completed = subprocess.run(
-            [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, _SOURCE, "-lm"],
-            capture_output=True,
-            text=True,
-        )
-        if completed.returncode != 0:
-            stderr = (completed.stderr or "").strip()
-            raise OSError(
-                f"{compiler} exited with status {completed.returncode}"
-                + (f": {stderr[-2000:]}" if stderr else "")
+        try:
+            completed = subprocess.run(
+                [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, _SOURCE, "-lm"],
+                capture_output=True,
+                text=True,
             )
-        os.replace(tmp_path, out_path)  # atomic under concurrent loaders
+            if completed.returncode != 0:
+                stderr = (completed.stderr or "").strip()
+                raise OSError(
+                    f"{compiler} exited with status {completed.returncode}"
+                    + (f": {stderr[-2000:]}" if stderr else "")
+                )
+            os.replace(tmp_path, out_path)  # atomic under concurrent loaders
+        except BaseException:
+            # A failed compile (or replace) must not strand the temp object
+            # file next to the cache entry.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
     return ctypes.CDLL(out_path)
 
 

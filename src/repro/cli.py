@@ -9,8 +9,14 @@ Subcommands:
 * ``report``   — regenerate one of the paper's tables (3, 4, 5, 6, 7);
 * ``snapshot save`` — fit the incremental matcher and write its complete
   state as a zero-copy snapshot (:mod:`repro.store`);
-* ``snapshot load`` — open a snapshot (memory-mapped by default), verify its
-  recorded digests, and print a summary;
+* ``snapshot load`` — open a snapshot or chain tip (memory-mapped by
+  default), resolve its ancestry, verify digests, and print a summary;
+* ``snapshot append`` — fold one new source table into a snapshot and write
+  only the changed state as an append-only chain delta next to it;
+* ``snapshot compact`` — collapse a base + delta chain back into one
+  self-contained snapshot file (byte-identical to a direct full save);
+* ``snapshot inspect`` — dump a single file's format version, segment
+  layout, alias map, chain parentage, and delta op summary;
 * ``serve-match`` — restore a snapshot and fold one new source table into it
   without refitting (the load-and-serve path).
 
@@ -22,6 +28,9 @@ Examples::
     python -m repro.cli report table7 --datasets geo music-20 --profile tiny
     python -m repro.cli snapshot save ./music20 --exclude tableA --output fit.snap
     python -m repro.cli snapshot load fit.snap
+    python -m repro.cli snapshot append fit.snap ./music20 --table tableA
+    python -m repro.cli snapshot compact fit.snap.d1 --output compacted.snap
+    python -m repro.cli snapshot inspect fit.snap.d1
     python -m repro.cli serve-match fit.snap ./music20 --table tableA --output preds.json
 """
 
@@ -144,22 +153,108 @@ def _cmd_snapshot_save(args: argparse.Namespace) -> int:
 
 
 def _cmd_snapshot_load(args: argparse.Namespace) -> int:
-    from .store import MatchSession, Snapshot
+    from .store import MatchSession, SnapshotChain
     from .store.codecs import embedding_store_digest, item_table_digest
 
-    snapshot = Snapshot.open(args.snapshot, mmap=not args.copy)
-    names = snapshot.names()
-    payload = snapshot.total_bytes()
-    session = MatchSession.from_snapshot(snapshot)
+    with SnapshotChain.open(args.snapshot) as chain:
+        depth = chain.depth
+        payload = chain.total_bytes()
+        num_arrays = len(chain.tip.delta["arrays"]) if depth else len(chain.tip.names())
+    session = MatchSession.load(args.snapshot, mmap=not args.copy)
     matcher = session.matcher
     table = matcher.integrated_table
     mode = "copy" if args.copy else "mmap (zero-copy)"
-    print(f"snapshot {args.snapshot}: {len(names)} arrays, {payload} payload bytes, {mode}")
+    chain_note = "" if depth == 0 else f", chain of {depth + 1} files (depth {depth})"
+    print(f"snapshot {args.snapshot}: {num_arrays} arrays, {payload} payload bytes, {mode}{chain_note}")
     print(f"sources ({len(matcher.known_sources)}): {', '.join(matcher.known_sources)}")
     print(f"integrated items: {len(table)}   schema: {', '.join(matcher._schema)}")
     print(f"item-table digest:      {item_table_digest(table)} (verified)")
     print(f"embedding-store digest: {embedding_store_digest(matcher._store)} (verified)")
     session.close()
+    return 0
+
+
+def _cmd_snapshot_append(args: argparse.Namespace) -> int:
+    import re
+
+    from .store import load_matcher
+
+    dataset = _load_any_dataset(args.dataset, args.profile, args.seed)
+    table = dataset.tables.get(args.table)
+    if table is None:
+        raise ReproError(f"dataset has no table {args.table!r}; choose from {sorted(dataset.tables)}")
+    matcher = load_matcher(args.snapshot, mmap=not args.copy)
+    try:
+        if args.table in matcher.known_sources:
+            raise ReproError(f"source {args.table!r} is already part of the snapshot")
+        result = matcher.add_table(table)
+        base = matcher._base
+        assert base is not None  # load_matcher always records the base
+        if args.output:
+            output = args.output
+        else:
+            root = re.sub(r"\.d\d+$", "", base["path"])
+            output = f"{root}.d{base['depth'] + 1}"
+        digests = matcher.save(output, mode="delta")
+        print(f"merged {args.table!r}; {result.num_tuples} predicted tuples over "
+              f"{len(matcher.known_sources)} sources")
+        print(f"delta written to {output} ({Path(output).stat().st_size} bytes, "
+              f"depth {base['depth'] + 1})")
+        print(f"item-table digest:      {digests['item_table']}")
+        print(f"embedding-store digest: {digests['embedding_store']}")
+    finally:
+        matcher.close()
+    return 0
+
+
+def _cmd_snapshot_compact(args: argparse.Namespace) -> int:
+    from .store import SnapshotChain, compact_session
+
+    with SnapshotChain.open(args.snapshot) as chain:
+        depth = chain.depth
+        chain_bytes = chain.total_bytes()
+    digests = compact_session(args.snapshot, args.output, mmap=not args.copy)
+    size = Path(args.output).stat().st_size
+    print(f"compacted chain of {depth + 1} files (depth {depth}) into {args.output}")
+    print(f"chain payload {chain_bytes} bytes -> single file {size} bytes")
+    print(f"item-table digest:      {digests['item_table']}")
+    print(f"embedding-store digest: {digests['embedding_store']}")
+    return 0
+
+
+def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
+    from .store import Snapshot
+
+    with Snapshot.open(args.snapshot) as snapshot:
+        print(f"{args.snapshot}: format version {snapshot.format_version}")
+        meta = snapshot.meta
+        if isinstance(meta, dict) and meta.get("type"):
+            print(f"meta type: {meta['type']}")
+        if snapshot.chain is not None:
+            print(f"chain: depth {snapshot.chain['depth']}, "
+                  f"parent {snapshot.chain['parent']} "
+                  f"(payload {snapshot.chain['parent_payload']})")
+        else:
+            print("chain: base snapshot (no parent)")
+        aliases = snapshot.alias_map()
+        print(f"segments: {len(snapshot.names())} entries, "
+              f"{snapshot.total_bytes()} payload bytes, {len(aliases)} aliased")
+        for name in snapshot.names():
+            entry = snapshot.entry(name)
+            if "alias_of" in entry:
+                print(f"  {name:<48s} alias of {entry['alias_of']}")
+            else:
+                shape = "x".join(str(d) for d in entry["shape"]) or "scalar"
+                misalign = entry["offset"] % 64
+                align = "64-aligned" if misalign == 0 else f"MISALIGNED (+{misalign})"
+                print(f"  {name:<48s} {entry['dtype']:>6s} {shape:>14s} "
+                      f"{entry['nbytes']:>12d} B @ {entry['offset']:<12d} {align}")
+        if snapshot.delta is not None:
+            ops: dict[str, int] = {}
+            for spec in snapshot.delta["arrays"].values():
+                ops[spec["op"]] = ops.get(spec["op"], 0) + 1
+            summary = ", ".join(f"{op}={count}" for op, count in sorted(ops.items()))
+            print(f"delta ops over {len(snapshot.delta['arrays'])} logical arrays: {summary}")
     return 0
 
 
@@ -238,11 +333,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     snap_save.add_argument("--output", required=True, help="snapshot file to write")
     snap_save.set_defaults(func=_cmd_snapshot_save)
-    snap_load = snapshot_sub.add_parser("load", help="open a snapshot and verify its digests")
-    snap_load.add_argument("snapshot", help="snapshot file written by `snapshot save`")
+    snap_load = snapshot_sub.add_parser(
+        "load", help="open a snapshot or chain tip and verify its digests"
+    )
+    snap_load.add_argument("snapshot", help="snapshot file or chain delta (ancestry is resolved)")
     snap_load.add_argument("--copy", action="store_true",
                            help="materialize arrays instead of memory-mapping them")
     snap_load.set_defaults(func=_cmd_snapshot_load)
+    snap_append = snapshot_sub.add_parser(
+        "append", help="merge one new table and write only the changed state as a chain delta"
+    )
+    snap_append.add_argument("snapshot", help="base snapshot or chain tip to extend")
+    snap_append.add_argument("dataset", help="benchmark name or dataset directory holding the new table")
+    snap_append.add_argument("--table", required=True, help="name of the table to fold in")
+    snap_append.add_argument("--profile", default="tiny", choices=("tiny", "bench", "paper"))
+    snap_append.add_argument("--seed", type=int, default=0)
+    snap_append.add_argument("--copy", action="store_true",
+                             help="materialize arrays instead of memory-mapping them")
+    snap_append.add_argument(
+        "--output", default=None,
+        help="delta file to write (default: next to the tip as <root>.d<depth+1>)",
+    )
+    snap_append.set_defaults(func=_cmd_snapshot_append)
+    snap_compact = snapshot_sub.add_parser(
+        "compact", help="collapse a base + delta chain into one self-contained snapshot"
+    )
+    snap_compact.add_argument("snapshot", help="chain tip (or any chain member) to compact")
+    snap_compact.add_argument("--output", required=True, help="compacted snapshot file to write")
+    snap_compact.add_argument("--copy", action="store_true",
+                              help="materialize arrays instead of memory-mapping them")
+    snap_compact.set_defaults(func=_cmd_snapshot_compact)
+    snap_inspect = snapshot_sub.add_parser(
+        "inspect", help="print a file's format version, segments, aliases, and chain link"
+    )
+    snap_inspect.add_argument("snapshot", help="snapshot or chain delta file")
+    snap_inspect.set_defaults(func=_cmd_snapshot_inspect)
 
     serve = sub.add_parser(
         "serve-match", help="restore a snapshot and merge one new table without refitting"

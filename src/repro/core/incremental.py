@@ -56,6 +56,11 @@ class IncrementalMultiEM:
             if self.config.merging.index_cache
             else None
         )
+        # On-disk base of the last save/load (path, payload digest, depth,
+        # session meta, captured array references) — what makes save() emit
+        # an append-only delta instead of a full rewrite. Maintained by
+        # repro.store.session; None until the first full save (or load).
+        self._base: dict | None = None
 
     # ------------------------------------------------------------------- fit
     @property
@@ -64,6 +69,7 @@ class IncrementalMultiEM:
 
     def fit(self, dataset: MultiTableDataset) -> MatchResult:
         """Run the full pipeline on the initial dataset and keep its state."""
+        self._base = None  # a refit starts a new snapshot lineage
         self._schema = dataset.schema
         self._representer = EntityRepresenter(self.config.representation)
         if self.config.representation.attribute_selection and len(self._schema) > 1:
@@ -136,15 +142,39 @@ class IncrementalMultiEM:
         return self._table
 
     # --------------------------------------------------------------- snapshot
-    def save(self, path) -> dict:
+    def save(self, path, mode: str = "auto") -> dict:
         """Snapshot the fitted state to ``path`` (see :mod:`repro.store`).
+
+        ``mode`` selects the persistence shape:
+
+        * ``"full"`` — a self-contained snapshot, always.
+        * ``"delta"`` — an append-only chain segment holding only what
+          changed since the last save/load (requires a recorded base;
+          must be written next to it).
+        * ``"auto"`` (default) — a delta whenever a base exists and ``path``
+          is not the base itself (overwriting the base in place falls back
+          to a full rewrite rather than corrupting the lineage), else full.
 
         Returns the digest record the snapshot stores; load it back with
         :meth:`repro.store.MatchSession.load` (serving) or
-        :func:`repro.store.load_matcher` (full matcher, ``add_table`` ready).
+        :func:`repro.store.load_matcher` (full matcher, ``add_table`` ready)
+        — both resolve chains transparently.
         """
-        from ..store.session import save_session
+        import os
 
+        from ..exceptions import StoreError
+        from ..store.session import save_session, save_session_delta
+
+        if mode not in ("auto", "full", "delta"):
+            raise StoreError(f"unknown save mode {mode!r}; use 'auto', 'full' or 'delta'")
+        if mode == "auto":
+            overwrites_base = (
+                self._base is not None
+                and os.path.abspath(os.fspath(path)) == self._base["path"]
+            )
+            mode = "delta" if self._base is not None and not overwrites_base else "full"
+        if mode == "delta":
+            return save_session_delta(self, path)
         return save_session(self, path)
 
     def snapshot_state(self) -> dict:

@@ -1,4 +1,4 @@
-"""Zero-copy persistence: snapshots, shared-memory planes, load-and-serve.
+"""Zero-copy persistence: snapshots, delta chains, shared-memory planes, load-and-serve.
 
 Everything the pipeline fits lives in flat numpy arrays (PR 2-4); this
 package makes those arrays *move* without serialization:
@@ -8,17 +8,22 @@ package makes those arrays *move* without serialization:
   raw array segments, and a trailing JSON manifest. ``Snapshot.open(path,
   mmap=True)`` returns arrays that are read-only views over the mapped file
   — zero copies; ``mmap=False`` materializes independent copies. The header
-  carries a single integer format version (currently 1); readers reject any
-  other version, additive manifest keys don't bump it (see the module
-  docstring for the full policy).
+  carries a single integer format version (currently 2); readers accept
+  exactly ``SUPPORTED_VERSIONS``, additive manifest keys don't bump it (see
+  the module docstring for the full policy and version history).
 * :mod:`repro.store.codecs` — ``(meta, arrays)`` state bundles for the
   flat-array core types: :class:`~repro.core.merging.ItemTable`,
   :class:`~repro.core.representation.EmbeddingStore`, all three ANN indexes
-  (HNSW snapshots include adjacency CSR, prepared distance arrays, and the
-  level-RNG state, so ``extend`` after a load continues the exact stream),
-  :class:`~repro.ann.cache.IndexCache` contents, fitted encoders, and the
-  pipeline config. Restores adopt the stored bytes verbatim — nothing is
-  recomputed — which is what makes save → load → continue byte-identical.
+  (HNSW snapshots include adjacency CSR and the level-RNG state, so
+  ``extend`` after a load continues the exact stream), :class:`~repro.ann.
+  cache.IndexCache` contents, fitted encoders, and the pipeline config.
+  Restores adopt the stored bytes verbatim; the only recomputed arrays are
+  the prepared distance row statistics, a deterministic per-row function of
+  the stored vectors — so save → load → continue stays byte-identical.
+  Every core type also exposes a *delta state* diffing its bundle against a
+  base bundle (``*_delta_state``).
+* :mod:`repro.store.delta` — the delta ops themselves (``ref`` / ``alias``
+  / row-``patch`` / ``full``), bundle-level diff/replay, and chain folding.
 * :mod:`repro.store.plane` — shared-memory task planes for
   ``MultiEM(parallel)``'s process backend
   (``ParallelConfig.shared_memory=True``): one segment per ``map`` call
@@ -33,18 +38,51 @@ package makes those arrays *move* without serialization:
   without refitting anything; content digests recorded at save time are
   verified on load.
 
-CLI: ``python -m repro.cli snapshot save|load`` and ``serve-match``
-exercise the same paths end to end.
+Delta chains (rolling ingest)
+-----------------------------
+
+A fitted matcher's first ``save`` writes a self-contained **base**; after
+further ``add_table`` calls, ``save`` emits an **append-only delta** next to
+it (:func:`save_session_delta`) holding only the changed bytes — unchanged
+arrays become zero-byte refs onto the parent, the integrated vector plane
+row-patches, and carried-over index-cache entries ref their old segments.
+Each delta's manifest links its parent by basename plus payload digest, so
+:class:`SnapshotChain` can resolve and verify a whole ancestry;
+``load_matcher`` / :meth:`MatchSession.load` accept any chain tip and
+reconstruct a state byte-identical to a single full snapshot.
+:func:`compact_session` collapses a chain back into one aliased base file
+(byte-identical to a direct full save, buffer aliasing included).
+
+CLI: ``python -m repro.cli snapshot save|load|append|compact|inspect`` and
+``serve-match`` exercise the same paths end to end.
 """
 
-from .format import FORMAT_VERSION, Snapshot, SnapshotWriter
-from .session import MatchSession, load_matcher, save_session
+from .format import (
+    FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    DeltaWriter,
+    Snapshot,
+    SnapshotChain,
+    SnapshotWriter,
+)
+from .session import (
+    MatchSession,
+    compact_session,
+    load_matcher,
+    save_session,
+    save_session_delta,
+)
 
 __all__ = [
     "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "DeltaWriter",
     "Snapshot",
+    "SnapshotChain",
     "SnapshotWriter",
     "MatchSession",
+    "compact_session",
     "load_matcher",
     "save_session",
+    "save_session_delta",
 ]

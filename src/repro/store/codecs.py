@@ -13,9 +13,33 @@ bundles nest — an :class:`~repro.ann.cache.IndexCache` entry embeds a whole
 index bundle under an ``e{i}/index/`` prefix.
 
 Restored arrays are adopted **verbatim** (zero-copy when the snapshot is
-memory-mapped): a loaded object computes the exact bytes the saved one did
-because nothing is recomputed — prepared distance kernels, CSR bucket
-tables, and RNG states all round-trip as raw state.
+memory-mapped): a loaded object computes the exact bytes the saved one did —
+CSR bucket tables, adjacency, and RNG states all round-trip as raw state.
+The one exception is the prepared distance row statistics (normalized rows /
+squared norms), which are a deterministic per-row function of the stored
+vectors and are recomputed byte-identically on restore instead of being
+persisted — they were the largest derived plane in every snapshot.
+
+Alongside its full state, every core type also has a **delta state** — the
+same bundle diffed against a base bundle through :mod:`repro.store.delta`
+(``*_delta_state(obj, base_obj) -> (meta, delta_spec, segments)``), which is
+what the append-only snapshot chain stores per
+:meth:`~repro.core.incremental.IncrementalMultiEM.save`:
+
+* :func:`item_table_delta_state` — the merge keeps untouched items at their
+  positions with identical bytes, so the dominant ``(n, d)`` vector plane
+  row-patches (changed representatives + appended tail) while the small CSR
+  member columns fall back to full storage automatically;
+* :func:`embedding_store_delta_state` — strictly append-only: new source
+  blocks store outright, existing blocks become zero-byte refs;
+* :func:`index_cache_delta_state` — entries are aligned to the base by
+  params key and content (:func:`index_cache_pairing`), so a carried-over
+  entry refs its old segments even after LRU reordering and a
+  prefix-extended HNSW index stores only its adjacency-CSR extension (the
+  rewired rows + appended rows per layer) with the advanced PCG64 RNG state
+  riding in the entry meta;
+* :func:`encoder_delta_state` — fitted encoders never change after ``fit``,
+  so their arrays all collapse to refs.
 """
 
 from __future__ import annotations
@@ -39,6 +63,7 @@ from ..config import (
 from ..core.merging import ItemTable
 from ..core.representation import EmbeddingStore
 from ..exceptions import StoreError
+from .delta import apply_bundle, bytes_equal, diff_bundle
 from .format import (
     Snapshot,
     SnapshotWriter,
@@ -63,6 +88,13 @@ def pack(writer: SnapshotWriter, prefix: str, state) -> dict:
 def unpack(snapshot: Snapshot, prefix: str, meta: dict) -> "dict[str, np.ndarray]":
     """Read back the arrays of a bundle written by :func:`pack`."""
     return {name: snapshot.array(prefix + name) for name in meta["__arrays__"]}
+
+
+def unpack_arrays(
+    arrays: "Mapping[str, np.ndarray]", prefix: str, meta: dict
+) -> "dict[str, np.ndarray]":
+    """:func:`unpack` against a flat logical-array mapping (chain restores)."""
+    return {name: arrays[prefix + name] for name in meta["__arrays__"]}
 
 
 def _prefixed(prefix: str, arrays: "Mapping[str, np.ndarray]") -> "dict[str, np.ndarray]":
@@ -279,6 +311,116 @@ def encoder_from_state(meta: dict, arrays: "Mapping[str, np.ndarray]"):
             encoder._projection = None
         return encoder
     raise StoreError(f"unknown encoder kind {meta['kind']!r} in snapshot")
+
+
+# --------------------------------------------------------------- delta states
+def _bundle_delta(new_state, base_state, pairing: "dict[str, str] | None" = None):
+    """Shared ``(meta, delta_spec, segments)`` shape of every delta codec."""
+    meta, arrays = new_state
+    _, base_arrays = base_state
+    spec, segments = diff_bundle(arrays, base_arrays, pairing=pairing)
+    meta = dict(meta)
+    meta["__arrays__"] = list(arrays)
+    return meta, spec, segments
+
+
+def _bundle_from_delta(meta: dict, spec: dict, segments, base_state):
+    _, base_arrays = base_state
+    return apply_bundle(spec, base_arrays, lambda name: segments[name])
+
+
+def item_table_delta_state(table: ItemTable, base_table: ItemTable):
+    """Delta bundle of an item table against a base table (row patches)."""
+    return _bundle_delta(item_table_state(table), item_table_state(base_table))
+
+
+def item_table_from_delta(
+    meta: dict, spec: dict, segments, base_table: ItemTable
+) -> ItemTable:
+    arrays = _bundle_from_delta(meta, spec, segments, item_table_state(base_table))
+    return item_table_from_state(meta, arrays)
+
+
+def embedding_store_delta_state(store: EmbeddingStore, base_store: EmbeddingStore):
+    """Delta bundle of an embedding store (new blocks only; old blocks ref)."""
+    return _bundle_delta(embedding_store_state(store), embedding_store_state(base_store))
+
+
+def embedding_store_from_delta(
+    meta: dict, spec: dict, segments, base_store: EmbeddingStore
+) -> EmbeddingStore:
+    arrays = _bundle_from_delta(meta, spec, segments, embedding_store_state(base_store))
+    return embedding_store_from_state(meta, arrays)
+
+
+def encoder_delta_state(encoder, base_encoder):
+    """Delta bundle of a fitted encoder (all refs — encoders are fit-frozen)."""
+    return _bundle_delta(encoder_state(encoder), encoder_state(base_encoder))
+
+
+def index_cache_pairing(new_state, base_state) -> "dict[str, str]":
+    """Align cache entries of a new state onto a base state's segments.
+
+    Returns a ``{new_name: base_name}`` pairing (bundle-relative ``e{j}/…``
+    names) mapping each new entry onto the base entry it evolved from: the
+    first byte-identical twin with the same params key, else the longest
+    plausible prefix (same params key, fewer rows, matching first/last
+    prefix rows — a cheap screen; the byte-exact row diff downstream decides
+    what actually changed, so a miscast pairing can only cost bytes, never
+    correctness). Unpaired entries diff against nothing and store outright.
+    """
+    new_meta, new_arrays = new_state
+    base_meta, base_arrays = base_state
+    pairing: dict[str, str] = {}
+    used: set[int] = set()
+    for j, entry in enumerate(new_meta["entries"]):
+        new_vectors = new_arrays[f"e{j}/vectors"]
+        exact = None
+        best = None
+        best_rows = 0
+        for i, base_entry in enumerate(base_meta["entries"]):
+            if i in used or base_entry["params_key"] != entry["params_key"]:
+                continue
+            base_vectors = base_arrays.get(f"e{i}/vectors")
+            if (
+                base_vectors is None
+                or base_vectors.dtype != new_vectors.dtype
+                or base_vectors.shape[1:] != new_vectors.shape[1:]
+            ):
+                continue
+            if bytes_equal(base_vectors, new_vectors):
+                exact = i
+                break
+            rows = base_vectors.shape[0]
+            if (
+                0 < rows < new_vectors.shape[0]
+                and rows > best_rows
+                and bytes_equal(base_vectors[:1], new_vectors[:1])
+                and bytes_equal(base_vectors[rows - 1 : rows], new_vectors[rows - 1 : rows])
+            ):
+                best, best_rows = i, rows
+        pick = exact if exact is not None else best
+        if pick is None:
+            continue
+        used.add(pick)
+        pairing[f"e{j}/vectors"] = f"e{pick}/vectors"
+        for name in entry["index"]["__arrays__"]:
+            pairing[f"e{j}/index/{name}"] = f"e{pick}/index/{name}"
+    return pairing
+
+
+def index_cache_delta_state(cache: IndexCache, base_cache: IndexCache):
+    """Delta bundle of an index cache (entries aligned, extensions patched)."""
+    new_state = index_cache_state(cache)
+    base_state = index_cache_state(base_cache)
+    return _bundle_delta(new_state, base_state, index_cache_pairing(new_state, base_state))
+
+
+def index_cache_from_delta(
+    meta: dict, spec: dict, segments, base_cache: IndexCache
+) -> IndexCache:
+    arrays = _bundle_from_delta(meta, spec, segments, index_cache_state(base_cache))
+    return index_cache_from_state(meta, arrays)
 
 
 # --------------------------------------------------------------------- config

@@ -10,7 +10,9 @@ laid out arrow-style::
     offset 64  raw array segments, each aligned to a 64-byte boundary
     ...
     manifest   UTF-8 JSON: {"arrays": {name: {dtype, shape, offset, nbytes}},
-                            "meta": <caller-supplied JSON tree>}
+                            "meta": <caller-supplied JSON tree>,
+                            "chain": <optional parent link, delta files only>,
+                            "delta": <optional delta spec, delta files only>}
 
 Arrays are stored as raw C-contiguous bytes, so a reader can hand back numpy
 views *directly over the mapped buffer* — ``Snapshot.open(path, mmap=True)``
@@ -19,15 +21,38 @@ are marked read-only because they alias storage another process (or a later
 writer) may own. ``mmap=False`` / ``copy=True`` materialize independent
 writable arrays instead.
 
+Delta chains
+------------
+
+A snapshot may be the **base** of an append-only chain: a
+:class:`DeltaWriter` produces a sibling file whose manifest carries a
+``chain`` link — ``{"parent": <basename>, "parent_payload": <digest>,
+"depth": k}`` — plus a ``delta`` spec describing how each logical array of
+the new state derives from the parent's (``ref`` / ``alias`` / row-``patch``
+/ ``full``; see :mod:`repro.store.delta`). Parents are resolved by basename
+next to the child, so a chain directory can be relocated as a unit.
+:meth:`SnapshotChain.open` walks the links tip → base (each file written
+atomically, per-segment aligned exactly like a base snapshot), and
+:meth:`SnapshotChain.verify_links` proves every parent's payload is bit for
+bit the one its child was diffed against. Folding a chain back into one
+logical state — and compacting it into a fresh aliased base — lives in
+:mod:`repro.store.delta` and :mod:`repro.store.session`.
+
 Format version policy
 ---------------------
 
 The header carries a single integer **format version** (currently
-``FORMAT_VERSION = 1``). Readers refuse any other version outright — raw
-buffer layouts cannot be sniffed safely. Additive changes (new manifest meta
-keys, new array names) do **not** bump the version; any change to the
-header, alignment, segment encoding, or the meaning of existing manifest
-fields must.
+``FORMAT_VERSION = 2``). Readers accept only the versions they understand
+(``SUPPORTED_VERSIONS``) — raw buffer layouts cannot be sniffed safely.
+Additive changes (new manifest meta keys, new array names) do **not** bump
+the version; any change to the header, alignment, segment encoding, or the
+meaning of existing manifest fields must. Version history:
+
+* **1** — header + aligned segments + ``{"arrays", "meta"}`` manifest.
+* **2** — manifest may carry ``chain`` / ``delta`` trees: a file can be an
+  append-only delta over a parent snapshot instead of a self-contained
+  state. Version-1 files remain readable (they are exactly the chain-free
+  subset); version-1 readers must not see chain files, hence the bump.
 """
 
 from __future__ import annotations
@@ -67,7 +92,9 @@ def atomic_output(path: str | os.PathLike, mode: str = "wb"):
         raise
 
 MAGIC = b"REPROSNP"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions this reader understands (see the module docstring's history).
+SUPPORTED_VERSIONS = (1, 2)
 _ALIGNMENT = 64
 _HEADER = struct.Struct("<8sQQQ")  # magic, version, manifest offset, manifest length
 
@@ -92,6 +119,8 @@ class SnapshotWriter:
         self._aliases: dict[str, str] = {}  # name -> canonical name, same bytes
         self._by_buffer: dict[tuple, str] = {}
         self._meta: Any = {}
+        self._chain: dict | None = None
+        self._delta: dict | None = None
 
     def add_array(self, name: str, array: np.ndarray) -> None:
         """Register one array under ``name`` (unique per snapshot).
@@ -130,6 +159,19 @@ class SnapshotWriter:
         """Attach the manifest's ``meta`` tree (must be JSON-serializable)."""
         self._meta = meta
 
+    def set_chain(self, chain: "dict | None") -> None:
+        """Attach the manifest's ``chain`` link (delta files; see module docs).
+
+        Expected keys: ``parent`` (basename of the parent snapshot, resolved
+        next to this file), ``parent_payload`` (the parent's
+        :meth:`payload_digest`), and ``depth`` (1 for the first delta).
+        """
+        self._chain = None if chain is None else dict(chain)
+
+    def set_delta(self, delta: "dict | None") -> None:
+        """Attach the manifest's ``delta`` spec (see :mod:`repro.store.delta`)."""
+        self._delta = None if delta is None else dict(delta)
+
     # ------------------------------------------------------------- layout
     def _layout(self) -> tuple[dict[str, dict], int, bytes]:
         """Segment offsets, manifest offset, and the manifest bytes."""
@@ -147,9 +189,12 @@ class SnapshotWriter:
         for name, canonical in self._aliases.items():
             entries[name] = dict(entries[canonical])  # same segment, own entry
             entries[name]["alias_of"] = canonical
-        manifest = json.dumps(
-            {"arrays": entries, "meta": self._meta}, separators=(",", ":"), ensure_ascii=False
-        ).encode("utf-8")
+        tree: dict[str, Any] = {"arrays": entries, "meta": self._meta}
+        if self._chain is not None:
+            tree["chain"] = self._chain
+        if self._delta is not None:
+            tree["delta"] = self._delta
+        manifest = json.dumps(tree, separators=(",", ":"), ensure_ascii=False).encode("utf-8")
         return entries, offset, manifest
 
     def required_size(self) -> int:
@@ -214,6 +259,29 @@ class SnapshotWriter:
         return digest.hexdigest()
 
 
+class DeltaWriter(SnapshotWriter):
+    """A :class:`SnapshotWriter` producing one append-only chain segment.
+
+    Construction wires the ``chain`` link (parent basename + payload digest +
+    depth); :meth:`SnapshotWriter.set_delta` attaches the array spec. The
+    physical file is written exactly like a base snapshot — atomic
+    temp-then-replace, 64-byte-aligned segments, one payload digest over its
+    own segments — only the manifest distinguishes it.
+    """
+
+    def __init__(self, parent: str | os.PathLike, parent_payload: str, depth: int) -> None:
+        super().__init__()
+        if depth < 1:
+            raise StoreError("a delta's chain depth must be >= 1")
+        self.set_chain(
+            {
+                "parent": os.path.basename(os.fspath(parent)),
+                "parent_payload": parent_payload,
+                "depth": int(depth),
+            }
+        )
+
+
 class Snapshot:
     """Reader over one snapshot buffer, zero-copy by default.
 
@@ -227,6 +295,14 @@ class Snapshot:
             raise StoreError("snapshot manifest is malformed")
         self._entries: dict[str, dict] = manifest["arrays"]
         self.meta: Any = manifest.get("meta", {})
+        #: Parent link for delta files (``None`` for base snapshots).
+        self.chain: dict | None = manifest.get("chain")
+        #: Delta array spec for delta files (``None`` for base snapshots).
+        self.delta: dict | None = manifest.get("delta")
+        #: Header format version of the source buffer.
+        self.format_version: int = int(manifest.get("__format_version__", FORMAT_VERSION))
+        #: Origin path when opened from a file (``None`` for raw buffers).
+        self.path: str | None = None
         self._closer = closer
         self._materialized: dict[str, np.ndarray] | None = None
         if copy:
@@ -241,15 +317,24 @@ class Snapshot:
     # -------------------------------------------------------- constructors
     @classmethod
     def open(cls, path: str | os.PathLike, *, mmap: bool = True) -> "Snapshot":
-        """Open a snapshot file; ``mmap=True`` maps it read-only, zero-copy."""
+        """Open one snapshot file; ``mmap=True`` maps it read-only, zero-copy.
+
+        Opens exactly the named file — a delta file opens fine (its
+        :attr:`chain` / :attr:`delta` manifests are exposed) but holds only
+        its own segments; resolve a whole chain with
+        :meth:`SnapshotChain.open`.
+        """
         if mmap:
             with open(path, "rb") as handle:
                 mapped = mmap_module.mmap(handle.fileno(), 0, access=mmap_module.ACCESS_READ)
             manifest = cls._parse(mapped)
-            return cls(manifest, mapped, copy=False, closer=mapped.close)
-        with open(path, "rb") as handle:
-            data = handle.read()
-        return cls(cls._parse(data), data, copy=True)
+            snapshot = cls(manifest, mapped, copy=False, closer=mapped.close)
+        else:
+            with open(path, "rb") as handle:
+                data = handle.read()
+            snapshot = cls(cls._parse(data), data, copy=True)
+        snapshot.path = os.fspath(path)
+        return snapshot
 
     @classmethod
     def from_buffer(cls, buffer, *, copy: bool = False) -> "Snapshot":
@@ -267,10 +352,10 @@ class Snapshot:
             )
             if magic != MAGIC:
                 raise StoreError("not a repro snapshot (bad magic)")
-            if version != FORMAT_VERSION:
+            if version not in SUPPORTED_VERSIONS:
                 raise StoreError(
                     f"snapshot format version {version} is not supported "
-                    f"(this reader understands version {FORMAT_VERSION})"
+                    f"(this reader understands versions {SUPPORTED_VERSIONS})"
                 )
             if manifest_offset + manifest_length > len(view):
                 raise StoreError("snapshot manifest extends past the buffer end")
@@ -278,9 +363,12 @@ class Snapshot:
         finally:
             view.release()
         try:
-            return json.loads(manifest.decode("utf-8"))
+            parsed = json.loads(manifest.decode("utf-8"))
         except ValueError as exc:
             raise StoreError(f"snapshot manifest is not valid JSON: {exc}") from exc
+        if isinstance(parsed, dict):
+            parsed["__format_version__"] = int(version)
+        return parsed
 
     # -------------------------------------------------------------- access
     def _view(self, buffer, name: str) -> np.ndarray:
@@ -299,6 +387,20 @@ class Snapshot:
     def names(self) -> list[str]:
         """All array names, in manifest order."""
         return list(self._entries)
+
+    def alias_map(self) -> "dict[str, str]":
+        """``{alias_name: canonical_name}`` for every aliased manifest entry."""
+        return {
+            name: entry["alias_of"]
+            for name, entry in self._entries.items()
+            if "alias_of" in entry
+        }
+
+    def entry(self, name: str) -> dict:
+        """The raw manifest entry of one array (dtype, shape, offset, nbytes)."""
+        if name not in self._entries:
+            raise StoreError(f"snapshot has no array {name!r}")
+        return dict(self._entries[name])
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries
@@ -353,6 +455,120 @@ class Snapshot:
                 pass
 
     def __enter__(self) -> "Snapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SnapshotChain:
+    """A resolved base → delta₁ → … → deltaₖ snapshot chain, base first.
+
+    :meth:`open` starts from any chain member (usually the tip) and walks
+    the manifest ``chain`` links, resolving each parent by basename in the
+    child's directory. The chain holds one open :class:`Snapshot` per file;
+    :attr:`snapshots` is ordered base first, so ``snapshots[-1]`` (also
+    :attr:`tip`) carries the logical state the chain reconstructs.
+
+    Opening performs structural checks only (links resolve, depths agree);
+    :meth:`verify_links` additionally re-derives every parent's payload
+    digest and compares it to the digest its child recorded at append time,
+    proving no file in the ancestry was modified since the delta was diffed
+    against it.
+    """
+
+    def __init__(self, snapshots: "list[Snapshot]", paths: "list[str]") -> None:
+        if not snapshots:
+            raise StoreError("a snapshot chain needs at least one snapshot")
+        self.snapshots = snapshots
+        self.paths = paths
+
+    @classmethod
+    def open(cls, path: str | os.PathLike, *, mmap: bool = True, max_depth: int = 4096) -> "SnapshotChain":
+        """Open ``path`` and every ancestor it links to (tip → … → base)."""
+        snapshots: list[Snapshot] = []
+        paths: list[str] = []
+        current = os.fspath(path)
+        try:
+            while True:
+                snapshot = Snapshot.open(current, mmap=mmap)
+                snapshots.append(snapshot)
+                paths.append(current)
+                chain = snapshot.chain
+                if chain is None:
+                    if snapshot.delta is not None:
+                        raise StoreError(
+                            f"snapshot {current!r} carries a delta spec but no chain link"
+                        )
+                    break
+                if len(snapshots) > max_depth:
+                    raise StoreError(f"snapshot chain exceeds {max_depth} segments (cycle?)")
+                parent = os.path.join(os.path.dirname(current) or ".", chain["parent"])
+                if not os.path.exists(parent):
+                    raise StoreError(
+                        f"snapshot {current!r} links to missing parent {chain['parent']!r} "
+                        f"(expected at {parent!r})"
+                    )
+                current = parent
+        except BaseException:
+            for snapshot in snapshots:
+                snapshot.close()
+            raise
+        snapshots.reverse()
+        paths.reverse()
+        for depth, snapshot in enumerate(snapshots):
+            recorded = 0 if snapshot.chain is None else int(snapshot.chain["depth"])
+            if recorded != depth:
+                raise StoreError(
+                    f"chain segment {paths[depth]!r} records depth {recorded} "
+                    f"but sits at depth {depth}"
+                )
+        return cls(snapshots, paths)
+
+    # ------------------------------------------------------------ structure
+    @property
+    def base(self) -> Snapshot:
+        return self.snapshots[0]
+
+    @property
+    def tip(self) -> Snapshot:
+        return self.snapshots[-1]
+
+    @property
+    def depth(self) -> int:
+        """Number of delta segments on top of the base (0 = base only)."""
+        return len(self.snapshots) - 1
+
+    @property
+    def meta(self) -> Any:
+        """The tip's manifest meta — the logical state the chain reconstructs."""
+        return self.tip.meta
+
+    def total_bytes(self) -> int:
+        """Unique payload bytes across every chain segment."""
+        return sum(snapshot.total_bytes() for snapshot in self.snapshots)
+
+    # ---------------------------------------------------------- verification
+    def verify_links(self) -> None:
+        """Check every parent's payload digest against its child's record."""
+        for child_index in range(1, len(self.snapshots)):
+            child = self.snapshots[child_index]
+            parent = self.snapshots[child_index - 1]
+            recorded = child.chain["parent_payload"] if child.chain else None
+            derived = parent.payload_digest()
+            if recorded != derived:
+                raise StoreError(
+                    f"chain link broken: {self.paths[child_index]!r} was appended onto a "
+                    f"parent with payload {recorded}, but {self.paths[child_index - 1]!r} "
+                    f"now derives {derived} (parent modified or replaced)"
+                )
+
+    # ------------------------------------------------------------- lifetime
+    def close(self) -> None:
+        for snapshot in self.snapshots:
+            snapshot.close()
+
+    def __enter__(self) -> "SnapshotChain":
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -17,9 +17,21 @@ table and the embedding store at save time, ``load`` re-derives and verifies
 them (``verify=False`` to skip), and a restored matcher's ``add_table``
 produces byte-for-byte the tuples the in-memory matcher would have — pinned
 by ``tests/store/test_session.py``.
+
+Sessions also persist **incrementally**: after a full save (or load), the
+matcher remembers its on-disk base, and :func:`save_session_delta` writes
+only what changed since — a chain segment next to the base (see
+:mod:`repro.store.format` for the chain layout and :mod:`repro.store.delta`
+for the diff ops). ``load_matcher`` / :meth:`MatchSession.load` accept a
+chain tip transparently: the chain is resolved, link digests verified, and
+the reconstructed state is byte-identical to a single full snapshot of the
+same matcher — which :func:`compact_session` can then write out, collapsing
+any chain back into one self-contained, buffer-aliased base file.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -27,58 +39,171 @@ from ..core.incremental import IncrementalMultiEM
 from ..data.table import Table
 from ..exceptions import StoreError
 from . import codecs
-from .format import Snapshot, SnapshotWriter
+from .delta import diff_bundle, resolve_chain_arrays, snapshot_arrays
+from .format import DeltaWriter, Snapshot, SnapshotChain, SnapshotWriter
 
 #: Snapshot meta ``"type"`` marker for session snapshots.
 SESSION_TYPE = "multiem_session"
 
 
-def save_session(matcher: IncrementalMultiEM, path) -> dict:
-    """Write a fitted matcher's state to ``path``; returns the digest record."""
-    state = matcher.snapshot_state()
-    writer = SnapshotWriter()
-    table_meta = codecs.pack(writer, "table/", codecs.item_table_state(state["table"]))
-    store_meta = codecs.pack(writer, "store/", codecs.embedding_store_state(state["store"]))
-    encoder_meta = codecs.pack(writer, "encoder/", codecs.encoder_state(state["encoder"]))
-    cache_meta = None
+def session_state_bundle(state) -> "tuple[dict, dict[str, np.ndarray]]":
+    """Flatten a matcher's ``snapshot_state`` into ``(bundle_metas, arrays)``.
+
+    ``arrays`` is the ordered flat logical-array mapping every save path
+    (full, delta, compacted) works over — ``table/…``, ``store/…``,
+    ``encoder/…``, ``cache/…`` — and ``bundle_metas`` holds the four bundle
+    meta trees (``cache`` is ``None`` when the matcher runs cacheless), each
+    carrying its ``__arrays__`` name list.
+    """
+    parts = [
+        ("table", "table/", codecs.item_table_state(state["table"])),
+        ("store", "store/", codecs.embedding_store_state(state["store"])),
+        ("encoder", "encoder/", codecs.encoder_state(state["encoder"])),
+    ]
     if state["index_cache"] is not None:
-        cache_meta = codecs.pack(writer, "cache/", codecs.index_cache_state(state["index_cache"]))
-    digests = {
+        parts.append(("cache", "cache/", codecs.index_cache_state(state["index_cache"])))
+    metas: dict = {"cache": None}
+    arrays: dict = {}
+    for key, prefix, (meta, bundle) in parts:
+        meta = dict(meta)
+        meta["__arrays__"] = list(bundle)
+        metas[key] = meta
+        for name, array in bundle.items():
+            arrays[prefix + name] = array
+    return metas, arrays
+
+
+def _session_meta(state, metas: dict, digests: dict) -> dict:
+    # Key order is part of the byte-pinned manifest; do not reorder.
+    return {
+        "type": SESSION_TYPE,
+        "config": codecs.config_to_meta(state["config"]),
+        "attributes": list(state["attributes"]),
+        "schema": list(state["schema"]),
+        "known_sources": list(state["known_sources"]),
+        "digests": digests,
+        "table": metas["table"],
+        "store": metas["store"],
+        "encoder": metas["encoder"],
+        "cache": metas["cache"],
+    }
+
+
+def _state_digests(state) -> dict:
+    return {
         "item_table": codecs.item_table_digest(state["table"]),
         "embedding_store": codecs.embedding_store_digest(state["store"]),
-        # Whole-payload digest: every segment of every embedded object
-        # (encoder, index cache, config arrays included), so load-time
-        # verification covers the entire snapshot, not just the two core
-        # structures whose object-level digests are reported above.
-        "payload": writer.payload_digest(),
     }
-    writer.set_meta(
-        {
-            "type": SESSION_TYPE,
-            "config": codecs.config_to_meta(state["config"]),
-            "attributes": list(state["attributes"]),
-            "schema": list(state["schema"]),
-            "known_sources": list(state["known_sources"]),
-            "digests": digests,
-            "table": table_meta,
-            "store": store_meta,
-            "encoder": encoder_meta,
-            "cache": cache_meta,
+
+
+def _record_base(matcher: IncrementalMultiEM, path, meta: dict, arrays: dict, depth: int) -> None:
+    """Remember the matcher's on-disk base so the next save can emit a delta.
+
+    Captured by reference, not by re-reading the file: the pipeline never
+    mutates published arrays (stores append blocks, caches clone before
+    extending, merges build fresh arrays), so the captured objects stay the
+    exact bytes the snapshot holds. Snapshots without a recorded payload
+    digest (pre-chain files) cannot anchor a chain, so no base is recorded.
+    """
+    payload = (meta.get("digests") or {}).get("payload")
+    matcher._base = (
+        None
+        if payload is None
+        else {
+            "path": os.path.abspath(os.fspath(path)),
+            "payload": payload,
+            "depth": int(depth),
+            "meta": meta,
+            "arrays": dict(arrays),
         }
     )
+
+
+def save_session(matcher: IncrementalMultiEM, path) -> dict:
+    """Write a fitted matcher's full state to ``path``; returns the digest record."""
+    state = matcher.snapshot_state()
+    metas, arrays = session_state_bundle(state)
+    writer = SnapshotWriter()
+    for name, array in arrays.items():
+        writer.add_array(name, array)
+    digests = _state_digests(state)
+    # Whole-payload digest: every segment of every embedded object
+    # (encoder, index cache, config arrays included), so load-time
+    # verification covers the entire snapshot, not just the two core
+    # structures whose object-level digests are reported above.
+    digests["payload"] = writer.payload_digest()
+    meta = _session_meta(state, metas, digests)
+    writer.set_meta(meta)
     writer.save(path)
+    _record_base(matcher, path, meta, arrays, depth=0)
     return digests
 
 
-def _restore(snapshot: Snapshot, *, verify: bool) -> IncrementalMultiEM:
-    meta = snapshot.meta
+def save_session_delta(matcher: IncrementalMultiEM, path) -> dict:
+    """Write only what changed since the matcher's recorded base snapshot.
+
+    Produces a chain segment next to the base (parents resolve by basename):
+    unchanged arrays become zero-byte refs, the integrated table's vector
+    plane row-patches, carried-over index-cache entries ref their old
+    segments even after LRU reordering. The manifest still carries the
+    *complete* session meta plus the reconstructed-state digests, so a chain
+    tip describes the whole logical state. Returns the digest record.
+    """
+    base = getattr(matcher, "_base", None)
+    if base is None:
+        raise StoreError("matcher has no base snapshot; save a full session first")
+    path_abs = os.path.abspath(os.fspath(path))
+    if path_abs == base["path"]:
+        raise StoreError("a delta cannot overwrite its own base; use a sibling path")
+    if os.path.dirname(path_abs) != os.path.dirname(base["path"]):
+        raise StoreError(
+            "a delta must be written next to its base "
+            f"(base lives at {base['path']!r}); parents resolve by basename"
+        )
+    state = matcher.snapshot_state()
+    metas, arrays = session_state_bundle(state)
+    pairing: dict = {}
+    if metas["cache"] is not None and base["meta"].get("cache") is not None:
+        new_cache = {n[len("cache/"):]: a for n, a in arrays.items() if n.startswith("cache/")}
+        base_cache = {
+            n[len("cache/"):]: a for n, a in base["arrays"].items() if n.startswith("cache/")
+        }
+        entry_pairing = codecs.index_cache_pairing(
+            (metas["cache"], new_cache), (base["meta"]["cache"], base_cache)
+        )
+        pairing = {"cache/" + new: "cache/" + old for new, old in entry_pairing.items()}
+    spec, segments = diff_bundle(arrays, base["arrays"], pairing=pairing)
+    writer = DeltaWriter(base["path"], base["payload"], base["depth"] + 1)
+    for name, segment in segments.items():
+        writer.add_array(name, segment)
+    writer.set_delta(spec)
+    digests = _state_digests(state)
+    # Over this file's own segments only; parent payloads are covered by the
+    # chain links (each child records the payload digest it was diffed
+    # against, re-checked by SnapshotChain.verify_links).
+    digests["payload"] = writer.payload_digest()
+    meta = _session_meta(state, metas, digests)
+    writer.set_meta(meta)
+    writer.save(path)
+    _record_base(matcher, path, meta, arrays, depth=base["depth"] + 1)
+    return digests
+
+
+def _restore_state(
+    meta, arrays, *, verify: bool, payload_digest
+) -> IncrementalMultiEM:
+    """Rehydrate a matcher from a session meta tree plus flat logical arrays.
+
+    ``payload_digest`` is a zero-arg callable deriving the digest to check
+    against the recorded one (only invoked when ``verify`` needs it).
+    """
     if not isinstance(meta, dict) or meta.get("type") != SESSION_TYPE:
         raise StoreError("snapshot does not hold a MultiEM session")
     table = codecs.item_table_from_state(
-        meta["table"], codecs.unpack(snapshot, "table/", meta["table"])
+        meta["table"], codecs.unpack_arrays(arrays, "table/", meta["table"])
     )
     store = codecs.embedding_store_from_state(
-        meta["store"], codecs.unpack(snapshot, "store/", meta["store"])
+        meta["store"], codecs.unpack_arrays(arrays, "store/", meta["store"])
     )
     if verify:
         recorded = meta["digests"]
@@ -87,19 +212,19 @@ def _restore(snapshot: Snapshot, *, verify: bool) -> IncrementalMultiEM:
             "embedding_store": codecs.embedding_store_digest(store),
         }
         if "payload" in recorded:
-            derived["payload"] = snapshot.payload_digest()
+            derived["payload"] = payload_digest()
         if derived != recorded:
             raise StoreError(
                 f"snapshot digests do not match its contents: recorded {recorded}, "
                 f"derived {derived} (corrupted or truncated file)"
             )
     encoder = codecs.encoder_from_state(
-        meta["encoder"], codecs.unpack(snapshot, "encoder/", meta["encoder"])
+        meta["encoder"], codecs.unpack_arrays(arrays, "encoder/", meta["encoder"])
     )
     cache = None
     if meta.get("cache") is not None:
         cache = codecs.index_cache_from_state(
-            meta["cache"], codecs.unpack(snapshot, "cache/", meta["cache"])
+            meta["cache"], codecs.unpack_arrays(arrays, "cache/", meta["cache"])
         )
     return IncrementalMultiEM.from_snapshot_state(
         config=codecs.config_from_meta(meta["config"]),
@@ -113,19 +238,86 @@ def _restore(snapshot: Snapshot, *, verify: bool) -> IncrementalMultiEM:
     )
 
 
+def _restore(snapshot: Snapshot, *, verify: bool) -> IncrementalMultiEM:
+    if snapshot.chain is not None:
+        raise StoreError(
+            "this snapshot is a chain delta; open it through MatchSession.load / "
+            "load_matcher (or SnapshotChain) so its ancestry is resolved"
+        )
+    return _restore_state(
+        snapshot.meta,
+        snapshot_arrays(snapshot),
+        verify=verify,
+        payload_digest=snapshot.payload_digest,
+    )
+
+
+def _open_chain_session(path, *, mmap: bool, verify: bool):
+    """Open a snapshot (or chain tip), restore the matcher; ``(matcher, meta)``."""
+    chain = SnapshotChain.open(path, mmap=mmap)
+    try:
+        if verify and chain.depth > 0:
+            chain.verify_links()
+        arrays = resolve_chain_arrays(chain)
+        meta = chain.meta
+        matcher = _restore_state(
+            meta, arrays, verify=verify, payload_digest=chain.tip.payload_digest
+        )
+        _record_base(matcher, chain.paths[-1], meta, arrays, depth=chain.depth)
+        return matcher, meta
+    finally:
+        if not mmap:
+            chain.close()
+
+
 def load_matcher(path, *, mmap: bool = True, verify: bool = True) -> IncrementalMultiEM:
     """Restore a fitted :class:`IncrementalMultiEM` from a session snapshot.
 
-    With ``mmap=True`` the matcher's arrays stay backed by the mapped file
-    (zero copies, read-only); the mapping lives as long as the arrays do.
-    ``verify=True`` re-derives and checks the recorded content digests.
+    ``path`` may be a base snapshot or any chain delta: the whole ancestry
+    is resolved and folded, and the restored state is byte-identical to a
+    single full snapshot of the same matcher. With ``mmap=True`` the
+    matcher's arrays stay backed by the mapped file(s) (zero copies,
+    read-only); the mappings live as long as the arrays do. ``verify=True``
+    re-derives and checks the recorded content digests — chain link digests
+    included.
     """
-    snapshot = Snapshot.open(path, mmap=mmap)
+    matcher, _ = _open_chain_session(path, mmap=mmap, verify=verify)
+    return matcher
+
+
+def compact_session(path, out_path, *, mmap: bool = True, verify: bool = True) -> dict:
+    """Collapse the chain ending at ``path`` into one base file at ``out_path``.
+
+    The output is a self-contained session snapshot, byte-identical to the
+    full snapshot the tip matcher would have saved directly — buffer
+    aliasing included, because chain reconstruction binds aliased segments
+    back to single objects. The source chain is left untouched (garbage
+    collection of superseded segments is the caller's policy call). Returns
+    the digest record of the compacted snapshot.
+    """
+    out_abs = os.path.abspath(os.fspath(out_path))
+    chain = SnapshotChain.open(path, mmap=mmap)
     try:
-        return _restore(snapshot, verify=verify)
+        if any(os.path.abspath(p) == out_abs for p in chain.paths):
+            raise StoreError(
+                "refusing to compact onto a live chain member; write to a fresh "
+                "path, then retire the old chain"
+            )
+        if verify and chain.depth > 0:
+            chain.verify_links()
+        matcher = _restore_state(
+            chain.meta,
+            resolve_chain_arrays(chain),
+            verify=verify,
+            payload_digest=chain.tip.payload_digest,
+        )
     finally:
         if not mmap:
-            snapshot.close()
+            chain.close()
+    try:
+        return save_session(matcher, out_path)
+    finally:
+        matcher.close()
 
 
 class MatchSession:
@@ -154,13 +346,9 @@ class MatchSession:
 
     @classmethod
     def load(cls, path, *, mmap: bool = True, verify: bool = True) -> "MatchSession":
-        """Open a session snapshot (see :func:`load_matcher` for the knobs)."""
-        snapshot = Snapshot.open(path, mmap=mmap)
-        try:
-            return cls.from_snapshot(snapshot, verify=verify)
-        finally:
-            if not mmap:
-                snapshot.close()
+        """Open a session snapshot or chain tip (see :func:`load_matcher`)."""
+        matcher, meta = _open_chain_session(path, mmap=mmap, verify=verify)
+        return cls(matcher, meta.get("digests") if isinstance(meta, dict) else None)
 
     # ------------------------------------------------------------- serving
     def match_new_table(self, table: Table):

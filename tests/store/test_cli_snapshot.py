@@ -83,3 +83,105 @@ class TestSnapshotCli:
             == 2
         )
         assert "unknown tables" in capsys.readouterr().err
+
+
+class TestChainCli:
+    @pytest.fixture(scope="class")
+    def chain(self, dataset_dir, tmp_path_factory):
+        """save (minus two tables) → append → append: a depth-2 chain."""
+        directory = tmp_path_factory.mktemp("chaincli")
+        snapshot = directory / "fit.snap"
+        assert (
+            cli_main(
+                [
+                    "snapshot", "save", str(dataset_dir),
+                    "--exclude", "source_D", "--exclude", "source_E",
+                    "--output", str(snapshot),
+                ]
+            )
+            == 0
+        )
+        for depth, table in enumerate(("source_D", "source_E"), start=1):
+            tip = snapshot if depth == 1 else directory / f"fit.snap.d{depth - 1}"
+            assert (
+                cli_main(["snapshot", "append", str(tip), str(dataset_dir), "--table", table])
+                == 0
+            )
+        return directory
+
+    def test_append_writes_default_named_deltas(self, chain, capsys):
+        capsys.readouterr()
+        assert (chain / "fit.snap.d1").exists()
+        assert (chain / "fit.snap.d2").exists()
+        # each delta holds only changed state, far below the base
+        base_size = (chain / "fit.snap").stat().st_size
+        assert (chain / "fit.snap.d1").stat().st_size < base_size
+        assert (chain / "fit.snap.d2").stat().st_size < base_size
+
+    def test_append_explicit_output_and_messages(self, chain, dataset_dir, tmp_path, capsys):
+        import shutil
+
+        for name in ("fit.snap", "fit.snap.d1"):
+            shutil.copy(chain / name, tmp_path / name)
+        output = tmp_path / "fit.snap.d2"
+        assert (
+            cli_main(
+                [
+                    "snapshot", "append", str(tmp_path / "fit.snap.d1"), str(dataset_dir),
+                    "--table", "source_E", "--output", str(output),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "merged 'source_E'" in out
+        assert f"delta written to {output}" in out
+        assert "depth 2" in out
+        assert output.read_bytes() == (chain / "fit.snap.d2").read_bytes()
+
+    def test_append_rejects_known_source(self, chain, dataset_dir, capsys):
+        assert (
+            cli_main(
+                [
+                    "snapshot", "append", str(chain / "fit.snap.d2"), str(dataset_dir),
+                    "--table", "source_D",
+                ]
+            )
+            == 2
+        )
+        assert "already part of the snapshot" in capsys.readouterr().err
+
+    def test_load_reports_chain_shape(self, chain, capsys):
+        assert cli_main(["snapshot", "load", str(chain / "fit.snap.d2")]) == 0
+        out = capsys.readouterr().out
+        assert "chain of 3 files (depth 2)" in out
+        assert "(verified)" in out
+
+    def test_inspect_base_and_delta(self, chain, capsys):
+        assert cli_main(["snapshot", "inspect", str(chain / "fit.snap")]) == 0
+        out = capsys.readouterr().out
+        assert "format version 2" in out
+        assert "chain: base snapshot (no parent)" in out
+        assert "aliased" in out
+
+        assert cli_main(["snapshot", "inspect", str(chain / "fit.snap.d1")]) == 0
+        out = capsys.readouterr().out
+        assert "chain: depth 1, parent fit.snap" in out
+        assert "delta ops over" in out
+
+    def test_compact_collapses_the_chain(self, chain, tmp_path, capsys):
+        compacted = tmp_path / "compacted.snap"
+        assert (
+            cli_main(
+                ["snapshot", "compact", str(chain / "fit.snap.d2"), "--output", str(compacted)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "compacted chain of 3 files (depth 2)" in out
+        assert compacted.exists()
+
+        assert cli_main(["snapshot", "load", str(compacted)]) == 0
+        out = capsys.readouterr().out
+        assert "(verified)" in out
+        assert "chain of" not in out  # compacted file is self-contained

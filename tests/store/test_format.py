@@ -13,8 +13,12 @@ from repro.exceptions import StoreError
 from repro.store.format import (
     FORMAT_VERSION,
     MAGIC,
+    SUPPORTED_VERSIONS,
+    DeltaWriter,
     Snapshot,
+    SnapshotChain,
     SnapshotWriter,
+    atomic_output,
     decode_strings,
     encode_strings,
     tag_tuples,
@@ -152,6 +156,123 @@ class TestRoundTrip:
         monkeypatch.undo()
         assert path.read_bytes() == before
         assert not [p for p in os.listdir(tmp_path) if ".tmp." in p]
+
+    def test_atomic_output_unlinks_temp_when_body_raises(self, tmp_path):
+        """A writer that dies mid-body must not strand its temp file."""
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"previous contents")
+        with pytest.raises(RuntimeError, match="mid-write"):
+            with atomic_output(path) as handle:
+                handle.write(b"partial")
+                raise RuntimeError("mid-write failure")
+        assert path.read_bytes() == b"previous contents"
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+
+class TestFormatVersions:
+    def test_version1_files_remain_readable(self, tmp_path, sample_arrays):
+        """v1 is exactly the chain-free subset of v2; old files keep loading."""
+        path = tmp_path / "v1.bin"
+        _write(path, sample_arrays, {"legacy": True})
+        data = bytearray(path.read_bytes())
+        data[8:16] = struct.pack("<Q", 1)
+        path.write_bytes(bytes(data))
+        with Snapshot.open(path) as snap:
+            assert snap.format_version == 1
+            assert snap.meta == {"legacy": True}
+            assert snap.array("vectors").tobytes() == sample_arrays["vectors"].tobytes()
+        with SnapshotChain.open(path) as chain:
+            assert chain.depth == 0
+
+    def test_current_version_and_support_window(self, tmp_path, sample_arrays):
+        assert FORMAT_VERSION == 2
+        assert FORMAT_VERSION in SUPPORTED_VERSIONS
+        path = tmp_path / "v2.bin"
+        _write(path, sample_arrays, {})
+        with Snapshot.open(path) as snap:
+            assert snap.format_version == FORMAT_VERSION
+
+
+class TestDeltaWriterAndChain:
+    def _write_base(self, path, array):
+        writer = SnapshotWriter()
+        writer.add_array("x", array)
+        writer.set_meta({"step": 0})
+        writer.save(path)
+        return writer.payload_digest()
+
+    def test_delta_writer_links_parent_in_manifest(self, tmp_path):
+        base_path = tmp_path / "base.snap"
+        payload = self._write_base(base_path, np.arange(8, dtype=np.int64))
+        writer = DeltaWriter(base_path, payload, depth=1)
+        writer.add_array("x#d/tail", np.arange(8, 10, dtype=np.int64))
+        writer.set_delta({"arrays": {"x": {"op": "patch", "of": "x",
+                                           "dtype": "<i8", "shape": [10], "base_rows": 8}}})
+        writer.set_meta({"step": 1})
+        delta_path = tmp_path / "base.snap.d1"
+        writer.save(delta_path)
+        with Snapshot.open(delta_path) as snap:
+            assert snap.chain == {"parent": "base.snap", "parent_payload": payload, "depth": 1}
+            assert snap.delta["arrays"]["x"]["op"] == "patch"
+        with SnapshotChain.open(delta_path) as chain:
+            assert chain.depth == 1
+            chain.verify_links()
+            assert chain.total_bytes() > 0
+
+    def test_delta_writer_rejects_bad_depth(self, tmp_path):
+        with pytest.raises(StoreError, match="depth"):
+            DeltaWriter(tmp_path / "base.snap", "00", depth=0)
+
+    def test_chain_rejects_missing_parent(self, tmp_path):
+        writer = DeltaWriter(tmp_path / "gone.snap", "00", depth=1)
+        writer.set_delta({"arrays": {}})
+        path = tmp_path / "orphan.d1"
+        writer.save(path)
+        with pytest.raises(StoreError, match="missing parent"):
+            SnapshotChain.open(path)
+
+    def test_chain_rejects_delta_spec_without_chain_link(self, tmp_path):
+        writer = SnapshotWriter()
+        writer.add_array("x", np.zeros(3))
+        writer.set_delta({"arrays": {}})
+        path = tmp_path / "odd.snap"
+        writer.save(path)
+        with pytest.raises(StoreError, match="delta spec but no chain"):
+            SnapshotChain.open(path)
+
+    def test_chain_rejects_depth_mismatch(self, tmp_path):
+        base_path = tmp_path / "base.snap"
+        payload = self._write_base(base_path, np.arange(4, dtype=np.int64))
+        writer = DeltaWriter(base_path, payload, depth=2)  # should be 1
+        writer.set_delta({"arrays": {}})
+        path = tmp_path / "base.snap.d1"
+        writer.save(path)
+        with pytest.raises(StoreError, match="records depth 2"):
+            SnapshotChain.open(path)
+
+    def test_broken_link_digest_detected(self, tmp_path):
+        base_path = tmp_path / "base.snap"
+        self._write_base(base_path, np.arange(4, dtype=np.int64))
+        writer = DeltaWriter(base_path, "not-the-real-digest", depth=1)
+        writer.set_delta({"arrays": {}})
+        path = tmp_path / "base.snap.d1"
+        writer.save(path)
+        with SnapshotChain.open(path) as chain:
+            with pytest.raises(StoreError, match="chain link broken"):
+                chain.verify_links()
+
+    def test_alias_map_and_entry_accessors(self, tmp_path):
+        vectors = np.arange(12, dtype=np.float32).reshape(3, 4)
+        writer = SnapshotWriter()
+        writer.add_array("a", vectors)
+        writer.add_array("b", vectors)  # same buffer → alias
+        writer.save(tmp_path / "s.bin")
+        with Snapshot.open(tmp_path / "s.bin") as snap:
+            assert snap.alias_map() == {"b": "a"}
+            assert snap.entry("a")["dtype"] == "<f4"
+            assert snap.entry("b")["alias_of"] == "a"
+            with pytest.raises(StoreError, match="no array"):
+                snap.entry("missing")
 
 
 class TestErrors:
