@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Lint: store code must never open files for writing outside atomic_output.
+
+Every durable write in ``src/repro/store/`` has to go through
+``repro.store.format.atomic_output`` (temp file + fsync + atomic rename +
+directory fsync) so a crash can never leave a torn file at a final path. A
+bare ``open(path, "wb")`` — or ``os.open`` with ``O_WRONLY``/``O_RDWR``, or
+``pathlib``'s ``write_bytes``/``write_text`` — bypasses that commit protocol,
+so this script walks the ASTs and flags every such call that is not inside
+the ``atomic_output`` implementation itself.
+
+Exceptions are granted per line with a ``# atomic-write-exempt: <reason>``
+comment on the offending line (used by the lock file, which *needs*
+``O_CREAT | O_EXCL`` semantics and whose torn payload is handled by design).
+
+Run directly (``python scripts/check_atomic_writes.py``) or via its test in
+``tests/store/test_fsck.py``; exits 1 with one line per violation.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+STORE_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src", "repro", "store")
+
+#: Modes that create or mutate the target file in place.
+WRITE_MODES = ("w", "a", "x", "+")
+
+EXEMPT_MARK = "# atomic-write-exempt:"
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        parts = [func.attr]
+        value = func.value
+        while isinstance(value, ast.Attribute):
+            parts.append(value.attr)
+            value = value.value
+        if isinstance(value, ast.Name):
+            parts.append(value.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_write_mode(node: ast.Call) -> bool:
+    candidates = list(node.args[1:2]) + [
+        keyword.value for keyword in node.keywords if keyword.arg == "mode"
+    ]
+    for mode in candidates:
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return any(flag in mode.value for flag in WRITE_MODES)
+    return False
+
+
+def _os_open_writes(node: ast.Call) -> bool:
+    flags = list(node.args[1:2]) + [
+        keyword.value for keyword in node.keywords if keyword.arg == "flags"
+    ]
+
+    def mentions_write(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in ("O_WRONLY", "O_RDWR", "O_APPEND")
+        if isinstance(expr, ast.BinOp):
+            return mentions_write(expr.left) or mentions_write(expr.right)
+        return False
+
+    return any(mentions_write(flag) for flag in flags)
+
+
+def check_file(path: str) -> "list[tuple[int, str]]":
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines = source.splitlines()
+    violations: list[tuple[int, str]] = []
+    inside_atomic_output = set()
+    tree = ast.parse(source, filename=path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "atomic_output":
+            inside_atomic_output.update(
+                range(node.lineno, (node.end_lineno or node.lineno) + 1)
+            )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if node.lineno in inside_atomic_output:
+            continue
+        line_text = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if EXEMPT_MARK in line_text:
+            continue
+        name = _call_name(node)
+        if name in ("open", "io.open", "builtins.open") and _is_write_mode(node):
+            violations.append(
+                (node.lineno, f"bare open(..., mode with {WRITE_MODES}) bypasses atomic_output")
+            )
+        elif name == "os.open" and _os_open_writes(node):
+            violations.append((node.lineno, "os.open with a write flag bypasses atomic_output"))
+        elif name.endswith((".write_bytes", ".write_text")) and name not in ("self.write_bytes",):
+            violations.append((node.lineno, f"{name.rsplit('.', 1)[1]} bypasses atomic_output"))
+    return violations
+
+
+def main() -> int:
+    failed = False
+    for root, _dirs, files in os.walk(STORE_DIR):
+        for filename in sorted(files):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(root, filename)
+            for lineno, message in check_file(path):
+                failed = True
+                print(f"{os.path.relpath(path)}:{lineno}: {message}", file=sys.stderr)
+    if failed:
+        print(
+            "durable writes in src/repro/store/ must go through atomic_output "
+            f"(or carry '{EXEMPT_MARK} <reason>')",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -156,12 +156,18 @@ def _cmd_snapshot_load(args: argparse.Namespace) -> int:
     from .store import MatchSession, SnapshotChain
     from .store.codecs import embedding_store_digest, item_table_digest
 
-    with SnapshotChain.open(args.snapshot) as chain:
+    session = MatchSession.load(
+        args.snapshot, mmap=not args.copy, allow_rollback=args.allow_rollback
+    )
+    matcher = session.matcher
+    base = matcher._base
+    loaded_path = base["path"] if base is not None else args.snapshot
+    if Path(loaded_path).resolve() != Path(args.snapshot).resolve():
+        print(f"WARNING: {args.snapshot} is damaged; rolled back to intact ancestor {loaded_path}")
+    with SnapshotChain.open(loaded_path) as chain:
         depth = chain.depth
         payload = chain.total_bytes()
         num_arrays = len(chain.tip.delta["arrays"]) if depth else len(chain.tip.names())
-    session = MatchSession.load(args.snapshot, mmap=not args.copy)
-    matcher = session.matcher
     table = matcher.integrated_table
     mode = "copy" if args.copy else "mmap (zero-copy)"
     chain_note = "" if depth == 0 else f", chain of {depth + 1} files (depth {depth})"
@@ -213,12 +219,47 @@ def _cmd_snapshot_compact(args: argparse.Namespace) -> int:
     with SnapshotChain.open(args.snapshot) as chain:
         depth = chain.depth
         chain_bytes = chain.total_bytes()
-    digests = compact_session(args.snapshot, args.output, mmap=not args.copy)
+    digests = compact_session(
+        args.snapshot, args.output, mmap=not args.copy, retire=args.retire
+    )
     size = Path(args.output).stat().st_size
     print(f"compacted chain of {depth + 1} files (depth {depth}) into {args.output}")
     print(f"chain payload {chain_bytes} bytes -> single file {size} bytes")
     print(f"item-table digest:      {digests['item_table']}")
     print(f"embedding-store digest: {digests['embedding_store']}")
+    if args.retire:
+        from .store.fsck import retirement_marker_path
+
+        print(f"retirement marker written to {retirement_marker_path(args.output)}")
+    if args.gc:
+        from .store.fsck import gc_store
+
+        report = gc_store(Path(args.output).resolve().parent)
+        print(report.format_table())
+    return 0
+
+
+def _cmd_snapshot_fsck(args: argparse.Namespace) -> int:
+    from .store.fsck import fsck_store
+
+    report = fsck_store(args.directory, repair=args.repair)
+    print(report.format_table())
+    if report.swept:
+        print(f"swept {len(report.swept)} stale partial file(s)")
+    if report.quarantined:
+        print(f"quarantined {len(report.quarantined)} file(s) under {args.directory}/quarantine/")
+    if report.ok:
+        print("store is consistent")
+        return 0
+    print("store has unresolved damage (re-run with --repair to quarantine)", file=sys.stderr)
+    return 1
+
+
+def _cmd_snapshot_gc(args: argparse.Namespace) -> int:
+    from .store.fsck import gc_store
+
+    report = gc_store(args.directory, dry_run=args.dry_run)
+    print(report.format_table())
     return 0
 
 
@@ -255,6 +296,49 @@ def _cmd_snapshot_inspect(args: argparse.Namespace) -> int:
                 ops[spec["op"]] = ops.get(spec["op"], 0) + 1
             summary = ", ".join(f"{op}={count}" for op, count in sorted(ops.items()))
             print(f"delta ops over {len(snapshot.delta['arrays'])} logical arrays: {summary}")
+        failures = [
+            (name, detail)
+            for name, passed, detail in snapshot.verify_segments()
+            if not passed
+        ]
+        recorded = (meta.get("digests") or {}).get("payload") if isinstance(meta, dict) else None
+        if recorded is not None:
+            try:
+                derived = snapshot.payload_digest()
+            except ReproError as exc:
+                failures.append(("<payload>", str(exc)))
+            else:
+                if derived != recorded:
+                    failures.append(
+                        ("<payload>",
+                         f"payload digest mismatch (recorded {recorded}, derived {derived})")
+                    )
+        if snapshot.chain is not None:
+            from .store import Snapshot as _Snapshot
+
+            parent_path = Path(args.snapshot).resolve().parent / snapshot.chain["parent"]
+            if not parent_path.exists():
+                failures.append(("<chain>", f"parent {snapshot.chain['parent']!r} is missing"))
+            else:
+                try:
+                    with _Snapshot.open(parent_path) as parent:
+                        derived_parent = parent.payload_digest()
+                except ReproError as exc:
+                    failures.append(("<chain>", f"parent is unreadable: {exc}"))
+                else:
+                    if derived_parent != snapshot.chain["parent_payload"]:
+                        failures.append(
+                            ("<chain>",
+                             "link broken: recorded parent payload "
+                             f"{snapshot.chain['parent_payload']}, parent derives {derived_parent}")
+                        )
+        if failures:
+            print("verification: FAILED")
+            width = max(len(name) for name, _ in failures)
+            for name, detail in failures:
+                print(f"  {name:<{width}}  {detail}")
+            return 1
+        print("verification: ok (segments, payload digest, chain link)")
     return 0
 
 
@@ -339,6 +423,11 @@ def build_parser() -> argparse.ArgumentParser:
     snap_load.add_argument("snapshot", help="snapshot file or chain delta (ancestry is resolved)")
     snap_load.add_argument("--copy", action="store_true",
                            help="materialize arrays instead of memory-mapping them")
+    snap_load.add_argument(
+        "--allow-rollback", action="store_true",
+        help="if the tip fails to open or verify, fall back to its deepest "
+        "intact ancestor (serves older state; explicit opt-in)",
+    )
     snap_load.set_defaults(func=_cmd_snapshot_load)
     snap_append = snapshot_sub.add_parser(
         "append", help="merge one new table and write only the changed state as a chain delta"
@@ -362,12 +451,39 @@ def build_parser() -> argparse.ArgumentParser:
     snap_compact.add_argument("--output", required=True, help="compacted snapshot file to write")
     snap_compact.add_argument("--copy", action="store_true",
                               help="materialize arrays instead of memory-mapping them")
+    snap_compact.add_argument(
+        "--retire", action="store_true",
+        help="write a retirement marker naming the superseded chain files "
+        "(authorizes a later `snapshot gc` to delete them)",
+    )
+    snap_compact.add_argument(
+        "--gc", action="store_true",
+        help="run garbage collection on the store directory right after compacting",
+    )
     snap_compact.set_defaults(func=_cmd_snapshot_compact)
     snap_inspect = snapshot_sub.add_parser(
-        "inspect", help="print a file's format version, segments, aliases, and chain link"
+        "inspect", help="print a file's format version, segments, aliases, and chain "
+        "link, then verify digests (exit 1 on any failure)"
     )
     snap_inspect.add_argument("snapshot", help="snapshot or chain delta file")
     snap_inspect.set_defaults(func=_cmd_snapshot_inspect)
+    snap_fsck = snapshot_sub.add_parser(
+        "fsck", help="verify every snapshot file and chain link in a store directory"
+    )
+    snap_fsck.add_argument("directory", help="store directory holding snapshots and chain deltas")
+    snap_fsck.add_argument(
+        "--repair", action="store_true",
+        help="move damaged/orphaned files into quarantine/ (never deletes)",
+    )
+    snap_fsck.set_defaults(func=_cmd_snapshot_fsck)
+    snap_gc = snapshot_sub.add_parser(
+        "gc", help="delete chain files superseded by a verified compaction "
+        "(driven by `compact --retire` markers)"
+    )
+    snap_gc.add_argument("directory", help="store directory to collect")
+    snap_gc.add_argument("--dry-run", action="store_true",
+                         help="report what would be deleted without deleting")
+    snap_gc.set_defaults(func=_cmd_snapshot_gc)
 
     serve = sub.add_parser(
         "serve-match", help="restore a snapshot and merge one new table without refitting"

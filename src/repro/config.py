@@ -179,6 +179,20 @@ class ParallelConfig:
             zero-copy views. Bit-identical to the pickle dispatch; ignored
             by the serial and thread backends (and on platforms without
             POSIX shared memory).
+        self_heal: recover from pool failures instead of raising — a killed
+            worker (``BrokenProcessPool``) or a task exceeding
+            ``task_timeout`` restarts the pool, re-dispatches the missing
+            tasks with exponential backoff (``max_retries`` rounds), and
+            finally degrades to in-parent serial execution of whatever is
+            still missing. Tasks are pure, so healing changes wall-clock and
+            metrics only, never result bytes. Genuine task exceptions still
+            propagate un-retried.
+        task_timeout: seconds to wait for any single task before declaring
+            the pool wedged (``None`` waits forever — hung workers are then
+            only caught by the caller).
+        max_retries: pool-restart rounds before serial degradation.
+        retry_backoff: base sleep (seconds) between rounds, doubled each
+            round.
     """
 
     enabled: bool = False
@@ -186,12 +200,22 @@ class ParallelConfig:
     max_workers: int | None = None
     reuse_pool: bool = True
     shared_memory: bool = False
+    self_heal: bool = True
+    task_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.1
 
     def validate(self) -> None:
         if self.backend not in ("thread", "process", "serial"):
             raise ConfigurationError(f"unknown parallel backend {self.backend!r}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1 when given")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigurationError("task_timeout must be > 0 when given")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0")
 
 
 @dataclass(frozen=True)

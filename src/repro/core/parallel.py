@@ -43,15 +43,21 @@ callables as before.
 
 from __future__ import annotations
 
+import logging
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
+from .. import faults as _faults
 from ..config import ParallelConfig
 from ..exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..ann.cache import IndexCache
+
+logger = logging.getLogger("repro.parallel")
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -86,6 +92,18 @@ def worker_index_cache() -> "IndexCache | None":
     return _WORKER_STATE.get("index_cache")
 
 
+def _run_task(function: Callable[[T], R], item: T, fault_spec: "dict | None") -> R:
+    """Pool-side task shim: executes a claimed injected fault, then the task.
+
+    ``fault_spec`` is non-``None`` only under an active fault plan
+    (:func:`repro.faults.claim_worker_fault`); production dispatch pays one
+    ``is None`` check.
+    """
+    if fault_spec is not None:
+        _faults.execute_worker_fault(fault_spec)
+    return function(item)
+
+
 class ParallelExecutor:
     """Map a function over items serially or via a persistent worker pool."""
 
@@ -94,6 +112,17 @@ class ParallelExecutor:
         self.config.validate()
         self._pool: Executor | None = None  # persistent; backend is fixed per executor
         self._attached_cache: "IndexCache | None" = None
+        #: Healing counters, cumulative over the executor's lifetime:
+        #: ``pool_restarts`` (pools discarded after a break/timeout),
+        #: ``retries`` (re-dispatch rounds), ``timeouts`` (tasks that
+        #: exceeded ``task_timeout``), ``serial_fallbacks`` (maps that
+        #: finished degraded, in-parent).
+        self.metrics: dict[str, int] = {
+            "pool_restarts": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "serial_fallbacks": 0,
+        }
 
     @property
     def is_parallel(self) -> bool:
@@ -171,6 +200,25 @@ class ParallelExecutor:
         except Exception:
             pass
 
+    def _discard_pool(self, pool: Executor, *, ephemeral: bool) -> None:
+        """Drop a broken or wedged pool without waiting on it.
+
+        A hung process worker would block ``shutdown(wait=True)`` forever, so
+        process workers are terminated outright first. Hung *threads* cannot
+        be killed; they are leaked (non-daemon, so they finish eventually)
+        and the executor simply stops routing work to that pool.
+        """
+        if not ephemeral and self._pool is pool:
+            self._pool = None
+        processes = getattr(pool, "_processes", None)
+        if processes:
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:  # racing its own exit
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
     # --------------------------------------------------------------- map
     def map(self, function: Callable[[T], R], items: Sequence[T]) -> list[R]:
         """Apply ``function`` to every item, preserving input order.
@@ -179,11 +227,19 @@ class ParallelExecutor:
         pool would only add overhead (the paper observes the same effect on
         the small Geo dataset). With ``backend="process"``, ``function`` and
         every item must be picklable — use module-level task functions.
+
+        With ``ParallelConfig.self_heal`` (the default), pool failures are
+        recovered instead of raised — see :meth:`_map_healing`. Because every
+        dispatched task is pure (module-level functions over immutable
+        arrays), re-running one in a fresh pool or in the parent produces the
+        same bytes; a killed worker changes wall-clock, never results.
         """
         if not self.is_parallel or len(items) <= 1:
             return [function(item) for item in items]
         if self.config.backend not in ("thread", "process"):
             raise ConfigurationError(f"unknown parallel backend {self.config.backend!r}")
+        if self.config.self_heal:
+            return self._map_healing(function, items)
         if not self.config.reuse_pool:  # historical spin-up-per-call baseline
             with self._make_pool() as pool:
                 return list(pool.map(function, items))
@@ -195,6 +251,90 @@ class ParallelExecutor:
             # the failure — silently retrying could mask a crashing task.
             self._pool = None
             raise
+
+    def _map_healing(self, function: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Dispatch with per-task timeouts, pool restarts, and serial fallback.
+
+        Rounds: submit every still-missing task, collect results in order;
+        on ``BrokenProcessPool`` or a task timeout, harvest whatever finished,
+        discard the pool (terminating hung process workers), back off, and
+        re-dispatch the remainder in a fresh pool — up to
+        ``max_retries`` rounds, after which the remainder runs serially in
+        the parent. Genuine task exceptions propagate immediately,
+        un-retried: retrying a deterministic failure would just fail again,
+        and silently swallowing it could mask a real bug.
+        """
+        config = self.config
+        inject_faults = config.backend == "process" and _faults.active() is not None
+        results: dict[int, R] = {}
+        pending = list(range(len(items)))
+        rounds = 0
+        while pending:
+            ephemeral = not config.reuse_pool
+            pool = self._make_pool() if ephemeral else self._ensure_pool()
+            failure: BaseException | None = None
+            try:
+                futures = {}
+                for index in pending:
+                    spec = _faults.claim_worker_fault(index) if inject_faults else None
+                    futures[index] = pool.submit(_run_task, function, items[index], spec)
+                for index in pending:
+                    if failure is None:
+                        try:
+                            results[index] = futures[index].result(
+                                timeout=config.task_timeout
+                            )
+                            continue
+                        except BrokenProcessPool as exc:
+                            failure = exc
+                        except FutureTimeoutError as exc:
+                            self.metrics["timeouts"] += 1
+                            failure = exc
+                    # Past the first failure: harvest tasks that did finish
+                    # so only genuinely-missing ones are re-dispatched.
+                    future = futures[index]
+                    if future.done() and not future.cancelled():
+                        if future.exception() is None:
+                            results[index] = future.result()
+                        elif not isinstance(future.exception(), BrokenProcessPool):
+                            raise future.exception()
+            finally:
+                if failure is not None:
+                    self.metrics["pool_restarts"] += 1
+                    self._discard_pool(pool, ephemeral=ephemeral)
+                elif ephemeral:
+                    pool.shutdown(wait=True)
+            pending = [index for index in pending if index not in results]
+            if not pending:
+                break
+            if rounds >= config.max_retries:
+                self.metrics["serial_fallbacks"] += 1
+                logger.warning(
+                    "worker pool failed %d time(s) (%s); degrading %d task(s) to "
+                    "serial in-parent execution (results are unaffected)",
+                    rounds + 1,
+                    failure,
+                    len(pending),
+                )
+                for index in pending:
+                    results[index] = function(items[index])
+                break
+            rounds += 1
+            self.metrics["retries"] += 1
+            backoff = config.retry_backoff * (2 ** (rounds - 1))
+            logger.warning(
+                "worker pool failure (%s: %s); restarting pool and retrying "
+                "%d task(s) after %.2fs (round %d/%d)",
+                type(failure).__name__,
+                failure,
+                len(pending),
+                backoff,
+                rounds,
+                config.max_retries,
+            )
+            if backoff > 0:
+                time.sleep(backoff)
+        return [results[index] for index in range(len(items))]
 
     def starmap(self, function: Callable[..., R], items: Iterable[tuple]) -> list[R]:
         """Like :meth:`map` but unpacking argument tuples (thread/serial only)."""

@@ -34,6 +34,12 @@ class StoreError(ReproError):
     unsupported format version, truncated buffer, or unsupported object)."""
 
 
+class StoreLockedError(StoreError):
+    """Another live writer holds the store directory's ``.lock`` file;
+    concurrent ``save``/``append``/``compact`` calls fail fast instead of
+    interleaving their temp files and chain links."""
+
+
 class EvaluationError(ReproError):
     """Ground truth and predictions cannot be compared (e.g. unknown entity refs)."""
 

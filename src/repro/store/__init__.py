@@ -53,8 +53,24 @@ reconstruct a state byte-identical to a single full snapshot.
 :func:`compact_session` collapses a chain back into one aliased base file
 (byte-identical to a direct full save, buffer aliasing included).
 
-CLI: ``python -m repro.cli snapshot save|load|append|compact|inspect`` and
-``serve-match`` exercise the same paths end to end.
+Durability (crash safety, fsck, GC)
+-----------------------------------
+
+Every file save commits atomically — temp file + fsync + ``os.replace`` +
+directory fsync — so a crash leaves either the old state or the new one,
+never a torn file (partials are swept on the next open). Mutating
+operations serialize on a per-directory writer lock
+(:mod:`repro.store.lock`, fail-fast with stale takeover).
+:mod:`repro.store.fsck` verifies whole store directories (per-segment
+digests, payload digests, chain links), quarantines unrecoverable damage,
+rolls a damaged tip back to its deepest intact ancestor (opt-in), and
+garbage-collects chain files superseded by a verified compaction
+(``compact_session(retire=True)`` writes the authorizing marker). The
+fault-injection switchboard behind the crash-matrix tests lives in
+:mod:`repro.faults`.
+
+CLI: ``python -m repro.cli snapshot save|load|append|compact|inspect|fsck|gc``
+and ``serve-match`` exercise the same paths end to end.
 """
 
 from .format import (
@@ -65,6 +81,15 @@ from .format import (
     SnapshotChain,
     SnapshotWriter,
 )
+from .fsck import (
+    FsckReport,
+    GcReport,
+    deepest_intact,
+    fsck_store,
+    gc_store,
+    sweep_partials,
+)
+from .lock import StoreLock
 from .session import (
     MatchSession,
     compact_session,
@@ -80,6 +105,13 @@ __all__ = [
     "Snapshot",
     "SnapshotChain",
     "SnapshotWriter",
+    "FsckReport",
+    "GcReport",
+    "deepest_intact",
+    "fsck_store",
+    "gc_store",
+    "sweep_partials",
+    "StoreLock",
     "MatchSession",
     "compact_session",
     "load_matcher",

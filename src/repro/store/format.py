@@ -66,29 +66,50 @@ from typing import Any, Iterable, Mapping
 
 import numpy as np
 
+from .. import faults as _faults
 from ..exceptions import StoreError
 
 
 @contextlib.contextmanager
-def atomic_output(path: str | os.PathLike, mode: str = "wb"):
+def atomic_output(path: str | os.PathLike, mode: str = "wb", *, fsync: bool = True):
     """Open a sibling temp file; publish it over ``path`` only on success.
 
-    The write-temp + ``os.replace`` idiom shared by snapshot saves and the
-    benchmark JSON trail: an interrupted writer can never leave a truncated
-    file behind — the previous contents survive untouched and the temp file
-    is removed.
+    The commit protocol shared by snapshot saves, retirement markers and the
+    benchmark JSON trail: write ``<path>.tmp.<pid>``, fsync it, publish with
+    one atomic ``os.replace``, then fsync the directory so the rename itself
+    is durable. An interrupted writer can never leave a truncated file
+    behind — the previous contents survive untouched and the temp file is
+    removed on ordinary failure. A *crash* (a killed process — simulated by
+    :class:`repro.faults.InjectedCrash`) leaves the partial temp file on
+    disk exactly as a real crash would; stale partials are identified by
+    their embedded pid and swept by :func:`repro.store.fsck.sweep_partials`
+    (which every writer-lock acquisition and fsck run performs).
+
+    Every durable file operation routes through :mod:`repro.faults`, so
+    tests can tear the k-th write, drop the fsync, or fail the replace at
+    will; with no fault plan active the hooks are plain passthroughs.
     """
     path = os.fspath(path)
     tmp_path = f"{path}.tmp.{os.getpid()}"
     try:
-        with open(tmp_path, mode) as handle:
-            yield handle
-        os.replace(tmp_path, path)
-    except BaseException:
+        handle = _faults.open_for_write(tmp_path, mode)
         try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
+            yield handle
+            if fsync:
+                _faults.fsync_handle(handle)
+        finally:
+            handle.close()
+        _faults.replace(tmp_path, path)
+        if fsync:
+            _faults.fsync_dir(os.path.dirname(path) or ".")
+    except BaseException as exc:
+        # A simulated crash means the machine died mid-write: leave the
+        # partial exactly as a real crash would, for recovery to deal with.
+        if not isinstance(exc, _faults.InjectedCrash):
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
         raise
 
 MAGIC = b"REPROSNP"
@@ -112,15 +133,23 @@ class SnapshotWriter:
     can target a file (:meth:`save`) or any writable buffer of
     :meth:`required_size` bytes (:meth:`write_into`) — the latter is how
     shared-memory planes are produced without an intermediate serialization.
+
+    ``segment_digests=True`` records a per-segment content digest in every
+    canonical manifest entry (an additive manifest key — no format-version
+    bump), which is what lets :mod:`repro.store.fsck` pinpoint *which*
+    segment a flipped bit landed in instead of reporting a whole-payload
+    mismatch. Session saves enable it; transient shared-memory planes skip
+    the extra hashing pass.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, segment_digests: bool = False) -> None:
         self._arrays: dict[str, np.ndarray] = {}
         self._aliases: dict[str, str] = {}  # name -> canonical name, same bytes
         self._by_buffer: dict[tuple, str] = {}
         self._meta: Any = {}
         self._chain: dict | None = None
         self._delta: dict | None = None
+        self._segment_digests = segment_digests
 
     def add_array(self, name: str, array: np.ndarray) -> None:
         """Register one array under ``name`` (unique per snapshot).
@@ -185,6 +214,10 @@ class SnapshotWriter:
                 "offset": offset,
                 "nbytes": int(array.nbytes),
             }
+            if self._segment_digests:
+                entries[name]["digest"] = segment_digest(
+                    name, array.dtype.str, array.shape, array
+                )
             offset += int(array.nbytes)
         for name, canonical in self._aliases.items():
             entries[name] = dict(entries[canonical])  # same segment, own entry
@@ -269,8 +302,15 @@ class DeltaWriter(SnapshotWriter):
     own segments — only the manifest distinguishes it.
     """
 
-    def __init__(self, parent: str | os.PathLike, parent_payload: str, depth: int) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        parent: str | os.PathLike,
+        parent_payload: str,
+        depth: int,
+        *,
+        segment_digests: bool = False,
+    ) -> None:
+        super().__init__(segment_digests=segment_digests)
         if depth < 1:
             raise StoreError("a delta's chain depth must be >= 1")
         self.set_chain(
@@ -324,6 +364,14 @@ class Snapshot:
         its own segments; resolve a whole chain with
         :meth:`SnapshotChain.open`.
         """
+        if _faults.reads_are_faulty():
+            # Read-corruption faults need the bytes in hand; serve the
+            # snapshot from the (possibly bit-flipped) buffer instead of a
+            # pristine mapping.
+            data = _faults.read_bytes(os.fspath(path))
+            snapshot = cls(cls._parse(data), data, copy=not mmap)
+            snapshot.path = os.fspath(path)
+            return snapshot
         if mmap:
             with open(path, "rb") as handle:
                 mapped = mmap_module.mmap(handle.fileno(), 0, access=mmap_module.ACCESS_READ)
@@ -373,10 +421,23 @@ class Snapshot:
     # -------------------------------------------------------------- access
     def _view(self, buffer, name: str) -> np.ndarray:
         entry = self._entries[name]
-        dtype = np.dtype(entry["dtype"])
-        shape = tuple(entry["shape"])
+        try:
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(entry["shape"])
+        except (TypeError, ValueError) as exc:
+            raise StoreError(
+                f"segment {name!r} has a malformed manifest entry "
+                f"(dtype {entry.get('dtype')!r}, shape {entry.get('shape')!r}): {exc}"
+            ) from exc
         count = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        array = np.frombuffer(buffer, dtype=dtype, count=count, offset=entry["offset"])
+        try:
+            array = np.frombuffer(buffer, dtype=dtype, count=count, offset=entry["offset"])
+        except ValueError as exc:
+            raise StoreError(
+                f"segment {name!r} lies outside the snapshot buffer "
+                f"(offset {entry['offset']}, {count} x {dtype}): truncated or "
+                f"corrupted file ({exc})"
+            ) from exc
         array = array.reshape(shape)
         if array.flags.writeable:
             # Shared-memory buffers are writable; the snapshot contract is
@@ -440,6 +501,44 @@ class Snapshot:
                 digest, name, entry["dtype"], tuple(entry["shape"]), self.array(name)
             )
         return digest.hexdigest()
+
+    def verify_segments(self) -> "list[tuple[str, bool, str]]":
+        """Per-segment integrity check: ``[(name, ok, detail), ...]``.
+
+        Canonical segments with a recorded ``digest`` manifest key (written
+        by ``SnapshotWriter(segment_digests=True)``) are re-hashed and
+        compared; segments whose bytes cannot even be viewed (truncation,
+        malformed entries) fail with the reader's error. Snapshots written
+        without per-segment digests report ``ok`` with an explanatory
+        detail — whole-payload verification still covers them.
+        """
+        results: list[tuple[str, bool, str]] = []
+        for name, entry in self._entries.items():
+            if "alias_of" in entry:
+                results.append((name, True, f"alias of {entry['alias_of']}"))
+                continue
+            try:
+                array = self.array(name)
+            except StoreError as exc:
+                results.append((name, False, str(exc)))
+                continue
+            recorded = entry.get("digest")
+            if recorded is None:
+                results.append((name, True, "no per-segment digest recorded"))
+                continue
+            derived = segment_digest(name, entry["dtype"], tuple(entry["shape"]), array)
+            if derived == recorded:
+                results.append((name, True, "digest verified"))
+            else:
+                results.append(
+                    (
+                        name,
+                        False,
+                        f"segment digest mismatch (recorded {recorded}, derived "
+                        f"{derived}): the {name.split('/')[0]!r} bundle is corrupted",
+                    )
+                )
+        return results
 
     # ------------------------------------------------------------ lifetime
     def close(self) -> None:
@@ -587,6 +686,13 @@ def _digest_segment(digest, name: str, dtype_str: str, shape, array: np.ndarray)
     digest.update(str(dtype_str).encode())
     digest.update(str(tuple(shape)).encode())
     digest.update(np.ascontiguousarray(array).tobytes())
+
+
+def segment_digest(name: str, dtype_str: str, shape, array: np.ndarray) -> str:
+    """Content digest of one segment (same recipe the payload digest folds)."""
+    digest = _new_payload_digest()
+    _digest_segment(digest, name, dtype_str, shape, array)
+    return digest.hexdigest()
 
 
 # -------------------------------------------------------------- string tables

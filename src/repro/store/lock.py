@@ -1,0 +1,165 @@
+"""Writer lock for snapshot store directories (pid + timestamp, stale takeover).
+
+Every mutating store operation — ``save``, ``append`` (delta save),
+``compact``, ``gc``, ``fsck --repair`` — serializes on one ``.lock`` file in
+the store directory. Two concurrent writers on the same directory would
+interleave temp files and chain links (the second ``append`` diffing against
+a parent the first is about to supersede), so the second caller **fails
+fast** with :class:`~repro.exceptions.StoreLockedError` instead.
+
+The lock file is created with ``O_CREAT | O_EXCL`` (atomic on every
+filesystem the store targets) and records ``{"pid", "time", "host"}``.
+Takeover is allowed when the recorded holder is provably gone: its pid is
+dead on this host, or the lock is older than ``stale_after`` seconds (a
+live-but-wedged writer; writers finish in seconds, so the default of 30
+minutes is generous). A crashed writer therefore blocks nobody.
+
+Within one process the lock is **reentrant** (per directory, counted):
+``compact_session`` holds the lock while delegating to ``save_session``,
+which re-enters it. The reentrancy is process-wide, not per-thread — two
+threads of one process saving into one directory are not mutually excluded
+(the pipeline never does this; cross-*process* exclusion is what the lock
+exists for).
+
+Acquiring the lock also sweeps stale partial files
+(:func:`repro.store.fsck.sweep_partials`): while the lock is held no other
+writer can be mid-write, so every ``*.tmp.<pid>`` in the directory is a
+crashed writer's leftover and is safe to remove.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+
+from ..exceptions import StoreLockedError
+
+#: Lock-file name inside a store directory.
+LOCK_NAME = ".lock"
+
+#: Age beyond which a lock from a live-but-silent pid may be taken over.
+DEFAULT_STALE_SECONDS = 1800.0
+
+#: Reentrancy ledger: abspath(directory) -> acquisition count (this process).
+_HELD: dict[str, int] = {}
+_HELD_GUARD = threading.Lock()
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    except OSError:
+        return False
+    return True
+
+
+class StoreLock:
+    """Context-managed writer lock over one store directory."""
+
+    def __init__(self, directory, *, stale_after: float = DEFAULT_STALE_SECONDS) -> None:
+        self.directory = os.path.abspath(os.fspath(directory) or ".")
+        self.path = os.path.join(self.directory, LOCK_NAME)
+        self.stale_after = float(stale_after)
+        self._owned = False
+
+    # ------------------------------------------------------------- internals
+    def _holder(self) -> dict:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                return {}
+            return payload
+        except (OSError, ValueError):
+            # Unreadable or torn lock payload: treat as anonymous. It still
+            # blocks until it goes stale by age.
+            return {}
+
+    def _is_stale(self, holder: dict) -> bool:
+        pid = holder.get("pid")
+        host = holder.get("host")
+        same_host = host in (None, socket.gethostname())
+        if same_host and isinstance(pid, int) and not pid_alive(pid):
+            return True
+        stamp = holder.get("time")
+        if isinstance(stamp, (int, float)):
+            return (time.time() - stamp) > self.stale_after
+        # No readable timestamp: fall back to the file's mtime.
+        try:
+            return (time.time() - os.path.getmtime(self.path)) > self.stale_after
+        except OSError:
+            return True  # vanished between exists-check and stat: retry
+
+    # ------------------------------------------------------------- lifecycle
+    def acquire(self) -> "StoreLock":
+        with _HELD_GUARD:
+            count = _HELD.get(self.directory, 0)
+            if count:
+                _HELD[self.directory] = count + 1
+                return self
+        os.makedirs(self.directory, exist_ok=True)
+        for attempt in (0, 1):
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)  # atomic-write-exempt: O_EXCL create IS the lock primitive; a torn payload only delays stale takeover
+            except FileExistsError:
+                holder = self._holder()
+                if attempt == 0 and self._is_stale(holder):
+                    # Takeover: remove the dead holder's file and race for a
+                    # fresh O_EXCL create; losing the race reports the winner.
+                    try:
+                        os.unlink(self.path)
+                    except FileNotFoundError:
+                        pass
+                    continue
+                raise StoreLockedError(
+                    f"store directory {self.directory!r} is locked by "
+                    f"pid {holder.get('pid', '?')} on {holder.get('host', '?')} "
+                    f"since {holder.get('time', '?')} ({self.path}); concurrent "
+                    "save/append/compact would interleave — retry once it finishes, "
+                    "or remove the lock if the holder is known dead"
+                )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"pid": os.getpid(), "time": time.time(), "host": socket.gethostname()},
+                    handle,
+                )
+            self._owned = True
+            with _HELD_GUARD:
+                _HELD[self.directory] = 1
+            # With the lock held, no writer can be mid-write: every partial
+            # left in the directory is a crashed writer's leftover.
+            from .fsck import sweep_partials
+
+            sweep_partials(self.directory, all_pids=True)
+            return self
+        raise StoreLockedError(f"could not acquire {self.path!r}")  # pragma: no cover
+
+    def release(self) -> None:
+        with _HELD_GUARD:
+            count = _HELD.get(self.directory, 0)
+            if count > 1:
+                _HELD[self.directory] = count - 1
+                return
+            _HELD.pop(self.directory, None)
+        if self._owned:
+            self._owned = False
+            try:
+                os.unlink(self.path)
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -226,9 +226,19 @@ def export_response(arrays: "dict[str, np.ndarray]", meta, *, segment_name: str 
     for name, array in arrays.items():
         writer.add_array(name, array)
     writer.set_meta(meta)
-    shm = _shared_memory.SharedMemory(
-        name=segment_name, create=True, size=max(writer.required_size(), 1)
-    )
+    size = max(writer.required_size(), 1)
+    try:
+        shm = _shared_memory.SharedMemory(name=segment_name, create=True, size=size)
+    except FileExistsError:
+        # A previous attempt at this task (worker killed or timed out
+        # mid-export, task re-dispatched by the self-healing executor) left a
+        # partially written segment under the same deterministic name.
+        # Nobody reads a segment before its descriptor is returned, so the
+        # leftover is dead weight: reclaim the name and start clean.
+        stale = _shared_memory.SharedMemory(name=segment_name)
+        stale.close()
+        stale.unlink()
+        shm = _shared_memory.SharedMemory(name=segment_name, create=True, size=size)
     try:
         writer.write_into(shm.buf)
     except BaseException:

@@ -31,6 +31,7 @@ any chain back into one self-contained, buffer-aliased base file.
 
 from __future__ import annotations
 
+import logging
 import os
 
 import numpy as np
@@ -41,9 +42,17 @@ from ..exceptions import StoreError
 from . import codecs
 from .delta import diff_bundle, resolve_chain_arrays, snapshot_arrays
 from .format import DeltaWriter, Snapshot, SnapshotChain, SnapshotWriter
+from .fsck import deepest_intact, sweep_partials, write_retirement_marker
+from .lock import StoreLock
+
+logger = logging.getLogger("repro.store")
 
 #: Snapshot meta ``"type"`` marker for session snapshots.
 SESSION_TYPE = "multiem_session"
+
+
+def _store_dir(path) -> str:
+    return os.path.dirname(os.path.abspath(os.fspath(path))) or "."
 
 
 def session_state_bundle(state) -> "tuple[dict, dict[str, np.ndarray]]":
@@ -123,7 +132,7 @@ def save_session(matcher: IncrementalMultiEM, path) -> dict:
     """Write a fitted matcher's full state to ``path``; returns the digest record."""
     state = matcher.snapshot_state()
     metas, arrays = session_state_bundle(state)
-    writer = SnapshotWriter()
+    writer = SnapshotWriter(segment_digests=True)
     for name, array in arrays.items():
         writer.add_array(name, array)
     digests = _state_digests(state)
@@ -134,7 +143,8 @@ def save_session(matcher: IncrementalMultiEM, path) -> dict:
     digests["payload"] = writer.payload_digest()
     meta = _session_meta(state, metas, digests)
     writer.set_meta(meta)
-    writer.save(path)
+    with StoreLock(_store_dir(path)):
+        writer.save(path)
     _record_base(matcher, path, meta, arrays, depth=0)
     return digests
 
@@ -173,7 +183,9 @@ def save_session_delta(matcher: IncrementalMultiEM, path) -> dict:
         )
         pairing = {"cache/" + new: "cache/" + old for new, old in entry_pairing.items()}
     spec, segments = diff_bundle(arrays, base["arrays"], pairing=pairing)
-    writer = DeltaWriter(base["path"], base["payload"], base["depth"] + 1)
+    writer = DeltaWriter(
+        base["path"], base["payload"], base["depth"] + 1, segment_digests=True
+    )
     for name, segment in segments.items():
         writer.add_array(name, segment)
     writer.set_delta(spec)
@@ -184,7 +196,8 @@ def save_session_delta(matcher: IncrementalMultiEM, path) -> dict:
     digests["payload"] = writer.payload_digest()
     meta = _session_meta(state, metas, digests)
     writer.set_meta(meta)
-    writer.save(path)
+    with StoreLock(_store_dir(path)):
+        writer.save(path)
     _record_base(matcher, path, meta, arrays, depth=base["depth"] + 1)
     return digests
 
@@ -252,8 +265,7 @@ def _restore(snapshot: Snapshot, *, verify: bool) -> IncrementalMultiEM:
     )
 
 
-def _open_chain_session(path, *, mmap: bool, verify: bool):
-    """Open a snapshot (or chain tip), restore the matcher; ``(matcher, meta)``."""
+def _open_chain_once(path, *, mmap: bool, verify: bool):
     chain = SnapshotChain.open(path, mmap=mmap)
     try:
         if verify and chain.depth > 0:
@@ -270,7 +282,37 @@ def _open_chain_session(path, *, mmap: bool, verify: bool):
             chain.close()
 
 
-def load_matcher(path, *, mmap: bool = True, verify: bool = True) -> IncrementalMultiEM:
+def _open_chain_session(path, *, mmap: bool, verify: bool, allow_rollback: bool = False):
+    """Open a snapshot (or chain tip), restore the matcher; ``(matcher, meta)``.
+
+    Opening first sweeps partial files left by provably-dead writers (a live
+    writer's in-flight temp is never touched). With ``allow_rollback=True``,
+    a tip that fails to open or verify falls back to its deepest intact
+    ancestor (:func:`repro.store.fsck.deepest_intact`) — an explicit opt-in,
+    because it silently serves older state.
+    """
+    sweep_partials(_store_dir(path))
+    try:
+        return _open_chain_once(path, mmap=mmap, verify=verify)
+    except StoreError:
+        if not allow_rollback:
+            raise
+        fallback = deepest_intact(path)
+        if fallback is None or os.path.abspath(fallback) == os.path.abspath(
+            os.fspath(path)
+        ):
+            raise
+        logger.warning(
+            "snapshot %s failed to load; rolling back to deepest intact ancestor %s",
+            os.fspath(path),
+            fallback,
+        )
+        return _open_chain_once(fallback, mmap=mmap, verify=verify)
+
+
+def load_matcher(
+    path, *, mmap: bool = True, verify: bool = True, allow_rollback: bool = False
+) -> IncrementalMultiEM:
     """Restore a fitted :class:`IncrementalMultiEM` from a session snapshot.
 
     ``path`` may be a base snapshot or any chain delta: the whole ancestry
@@ -279,45 +321,71 @@ def load_matcher(path, *, mmap: bool = True, verify: bool = True) -> Incremental
     matcher's arrays stay backed by the mapped file(s) (zero copies,
     read-only); the mappings live as long as the arrays do. ``verify=True``
     re-derives and checks the recorded content digests — chain link digests
-    included.
+    included. ``allow_rollback=True`` falls back to the deepest intact
+    ancestor when the tip is damaged (explicit opt-in: it serves older
+    state).
     """
-    matcher, _ = _open_chain_session(path, mmap=mmap, verify=verify)
+    matcher, _ = _open_chain_session(
+        path, mmap=mmap, verify=verify, allow_rollback=allow_rollback
+    )
     return matcher
 
 
-def compact_session(path, out_path, *, mmap: bool = True, verify: bool = True) -> dict:
+def compact_session(
+    path, out_path, *, mmap: bool = True, verify: bool = True, retire: bool = False
+) -> dict:
     """Collapse the chain ending at ``path`` into one base file at ``out_path``.
 
     The output is a self-contained session snapshot, byte-identical to the
     full snapshot the tip matcher would have saved directly — buffer
     aliasing included, because chain reconstruction binds aliased segments
-    back to single objects. The source chain is left untouched (garbage
-    collection of superseded segments is the caller's policy call). Returns
-    the digest record of the compacted snapshot.
+    back to single objects. The source chain is left untouched; with
+    ``retire=True`` (chain and output in the same directory) a retirement
+    marker is written next to the output naming the superseded chain files,
+    which authorizes a later ``gc_store`` pass to delete them once the
+    compacted file re-verifies. Returns the digest record of the compacted
+    snapshot.
     """
     out_abs = os.path.abspath(os.fspath(out_path))
-    chain = SnapshotChain.open(path, mmap=mmap)
-    try:
-        if any(os.path.abspath(p) == out_abs for p in chain.paths):
-            raise StoreError(
-                "refusing to compact onto a live chain member; write to a fresh "
-                "path, then retire the old chain"
+    with StoreLock(_store_dir(out_path)):
+        chain = SnapshotChain.open(path, mmap=mmap)
+        try:
+            if any(os.path.abspath(p) == out_abs for p in chain.paths):
+                raise StoreError(
+                    "refusing to compact onto a live chain member; write to a fresh "
+                    "path, then retire the old chain"
+                )
+            superseded: dict[str, str] = {}
+            if retire:
+                chain_dir = os.path.dirname(os.path.abspath(chain.paths[0])) or "."
+                if chain_dir != _store_dir(out_path):
+                    raise StoreError(
+                        "retire=True requires the compacted output to live in the "
+                        f"chain's own directory ({chain_dir!r}); markers and gc are "
+                        "per-directory"
+                    )
+                superseded = {
+                    os.path.basename(p): snapshot.payload_digest()
+                    for p, snapshot in zip(chain.paths, chain.snapshots)
+                }
+            if verify and chain.depth > 0:
+                chain.verify_links()
+            matcher = _restore_state(
+                chain.meta,
+                resolve_chain_arrays(chain),
+                verify=verify,
+                payload_digest=chain.tip.payload_digest,
             )
-        if verify and chain.depth > 0:
-            chain.verify_links()
-        matcher = _restore_state(
-            chain.meta,
-            resolve_chain_arrays(chain),
-            verify=verify,
-            payload_digest=chain.tip.payload_digest,
-        )
-    finally:
-        if not mmap:
-            chain.close()
-    try:
-        return save_session(matcher, out_path)
-    finally:
-        matcher.close()
+        finally:
+            if not mmap:
+                chain.close()
+        try:
+            digests = save_session(matcher, out_path)
+        finally:
+            matcher.close()
+        if retire:
+            write_retirement_marker(out_abs, digests["payload"], superseded)
+        return digests
 
 
 class MatchSession:
@@ -345,9 +413,18 @@ class MatchSession:
         return cls(matcher, meta.get("digests") if isinstance(meta, dict) else None)
 
     @classmethod
-    def load(cls, path, *, mmap: bool = True, verify: bool = True) -> "MatchSession":
+    def load(
+        cls,
+        path,
+        *,
+        mmap: bool = True,
+        verify: bool = True,
+        allow_rollback: bool = False,
+    ) -> "MatchSession":
         """Open a session snapshot or chain tip (see :func:`load_matcher`)."""
-        matcher, meta = _open_chain_session(path, mmap=mmap, verify=verify)
+        matcher, meta = _open_chain_session(
+            path, mmap=mmap, verify=verify, allow_rollback=allow_rollback
+        )
         return cls(matcher, meta.get("digests") if isinstance(meta, dict) else None)
 
     # ------------------------------------------------------------- serving
