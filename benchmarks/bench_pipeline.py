@@ -468,6 +468,209 @@ def run_lsh_dedup_bench(rows: int = 10_000, repeats: int = 3) -> dict:
     }
 
 
+def _encode_dataset_vectors(dataset_name: str, profile: str) -> np.ndarray:
+    """All-table embedding matrix for a benchmark dataset (row-concatenated)."""
+    from repro.core.representation import EntityRepresenter
+
+    dataset = load_benchmark(dataset_name, profile=profile)
+    config = paper_default_config(dataset_name)
+    representer = EntityRepresenter(config.representation)
+    representer.fit(dataset, dataset.schema)
+    embeddings = representer.encode_dataset(dataset, dataset.schema)
+    return np.ascontiguousarray(
+        np.concatenate([embeddings[table.name].vectors for table in dataset.table_list()])
+    )
+
+
+_RERANK_SNIPPET = """\
+import hashlib, json, sys, time
+import numpy as np
+sys.path.insert(0, {src!r})
+from repro.ann import engine, native
+from repro.ann.distances import PreparedVectors
+
+vectors = np.load({vectors_path!r})
+rng = np.random.default_rng(42)
+num_queries = min(1500, vectors.shape[0])
+queries = vectors[:num_queries] + rng.normal(
+    scale=0.01, size=(num_queries, vectors.shape[1])
+).astype(np.float32)
+prepared = PreparedVectors(vectors, "cosine")
+prepared_queries = prepared.prepare_queries(queries)
+seg = min({segment}, vectors.shape[0])
+picks = np.argsort(rng.random((num_queries, vectors.shape[0])), axis=1)[:, :seg]
+candidates = np.ascontiguousarray(np.sort(picks, axis=1).astype(np.int64).reshape(-1))
+offsets = np.arange(num_queries + 1, dtype=np.int64) * seg
+best = None
+for _ in range({repeats}):
+    indices, distances = engine.alloc_topk(num_queries, 5)
+    t0 = time.perf_counter()
+    engine.rerank_csr(prepared, prepared_queries, candidates, offsets, 5,
+                      indices, distances, use_native={use_native})
+    el = time.perf_counter() - t0
+    best = el if best is None or el < best else best
+digest = hashlib.sha256(indices.tobytes() + distances.tobytes()).hexdigest()[:16]
+print(json.dumps({{"seconds": best, "variant": native.kernel_variant(), "digest": digest}}))
+"""
+
+
+def run_kernel_rerank_bench(
+    dataset_name: str = "music-200", profile: str = "tiny", repeats: int = 3, segment: int = 64
+) -> dict:
+    """Short-segment re-rank per kernel variant, plus the threaded-build timing.
+
+    Times the same CSR re-rank workload (real ``dataset_name`` embeddings,
+    ``segment``-row candidate lists — the shape the SIMD micro-kernels serve)
+    in three subprocess legs: the ``REPRO_NATIVE=0`` numpy engine, the scalar
+    C variant, and the AVX2 variant where the CPU supports it. Output digests
+    are asserted identical across all legs — the variants are alternative
+    implementations, never alternative results. The record also carries an
+    HNSW build timing at ``kernel_threads`` 1 vs 2 with the graphs asserted
+    byte-identical; on a single-core box the threaded number measures
+    speculation overhead, not speedup (see ``threads_caveat``).
+    """
+    import tempfile
+
+    from repro.ann import native as native_mod
+    from repro.ann.hnsw import HNSWIndex
+    from repro.ann.native import _cpu_supports_avx2
+
+    vectors = _encode_dataset_vectors(dataset_name, profile)
+    with tempfile.TemporaryDirectory() as tmp:
+        vectors_path = os.path.join(tmp, "vectors.npy")
+        np.save(vectors_path, vectors)
+
+        def run_leg(use_native: str, extra_env: dict) -> dict:
+            snippet = _RERANK_SNIPPET.format(
+                src=_SRC_PATH,
+                vectors_path=vectors_path,
+                segment=segment,
+                repeats=max(repeats, 1),
+                use_native=use_native,
+            )
+            env = {**os.environ}
+            env.pop("REPRO_NATIVE_VARIANT", None)
+            env.update(extra_env)
+            completed = subprocess.run(
+                [sys.executable, "-c", snippet], capture_output=True, text=True, env=env, check=True
+            )
+            return json.loads(completed.stdout.strip().splitlines()[-1])
+
+        python_leg = run_leg("False", {"REPRO_NATIVE": "0"})
+        scalar_leg = run_leg("True", {"REPRO_NATIVE_VARIANT": "scalar"})
+        assert scalar_leg["variant"] == "scalar", "scalar variant did not load"
+        assert scalar_leg["digest"] == python_leg["digest"], "scalar re-rank diverged"
+        avx2_leg = None
+        if _cpu_supports_avx2():
+            avx2_leg = run_leg("True", {"REPRO_NATIVE_VARIANT": "avx2"})
+            if avx2_leg["variant"] != "avx2":
+                avx2_leg = None  # honest fallback engaged (non-bit-equal AVX2 rejected)
+            else:
+                assert avx2_leg["digest"] == python_leg["digest"], "AVX2 re-rank diverged"
+
+    # Threaded build: byte-identity asserted here, wall-clock recorded.
+    def time_build(threads: int) -> tuple[float, bytes]:
+        best = None
+        state = None
+        for _ in range(max(repeats, 1)):
+            started = time.perf_counter()
+            index = HNSWIndex("cosine", seed=0, kernel_threads=threads).build(vectors)
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+            n = len(index._node_levels)
+            state = b"".join(
+                index._layer_neighbors[layer][:n].tobytes()
+                for layer in range(len(index._layer_neighbors))
+            )
+        return best, state
+
+    build_1, graph_1 = time_build(1)
+    build_2, graph_2 = time_build(2)
+    assert graph_1 == graph_2, "threaded build graph diverged"
+    return {
+        "dataset": dataset_name,
+        "profile": profile,
+        "backend": "kernel",
+        "kind": "kernel_rerank",
+        "rows": int(vectors.shape[0]),
+        "dim": int(vectors.shape[1]),
+        "segment": segment,
+        "repeats": max(repeats, 1),
+        "native_enabled": native_mod.get_kernel() is not None,
+        "default_variant": native_mod.kernel_variant(),
+        "seconds_rerank_python": round(python_leg["seconds"], 4),
+        "seconds_rerank_scalar": round(scalar_leg["seconds"], 4),
+        "seconds_rerank_avx2": None if avx2_leg is None else round(avx2_leg["seconds"], 4),
+        "rerank_digest": python_leg["digest"],
+        "seconds_build_threads_1": round(build_1, 4),
+        "seconds_build_threads_2": round(build_2, 4),
+        "threads_caveat": (
+            "single-core bench box: kernel_threads=2 measures speculation overhead, "
+            "not speedup; graphs asserted byte-identical"
+        ),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def run_quantized_scan_bench(
+    dataset_name: str = "music-200", profile: str = "tiny", repeats: int = 3, k: int = 5
+) -> dict:
+    """Opt-in int8 coarse scan + exact re-rank vs the dense exact scan.
+
+    Both paths answer the same top-``k`` queries over real ``dataset_name``
+    embeddings (best of N each); neighbour ids are asserted identical
+    (recall == 1 on this workload) with distances matching to float32
+    round-off. The quantized path is never a default — this record tracks
+    what the opt-in buys.
+    """
+    from repro.ann import native as native_mod
+    from repro.ann.brute_force import BruteForceIndex
+
+    vectors = _encode_dataset_vectors(dataset_name, profile)
+    rng = np.random.default_rng(42)
+    num_queries = min(2000, vectors.shape[0])
+    queries = vectors[:num_queries] + rng.normal(
+        scale=0.01, size=(num_queries, vectors.shape[1])
+    ).astype(np.float32)
+
+    exact = BruteForceIndex("cosine").build(vectors)
+    quantized = BruteForceIndex("cosine", quantized_scan=True).build(vectors)
+
+    def best_of(index) -> tuple[float, tuple]:
+        best = None
+        result = None
+        for _ in range(max(repeats, 1)):
+            started = time.perf_counter()
+            result = index.query(queries, k)
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None or elapsed < best else best
+        return best, result
+
+    exact_seconds, (exact_idx, exact_dist) = best_of(exact)
+    quant_seconds, (quant_idx, quant_dist) = best_of(quantized)
+    assert np.array_equal(exact_idx, quant_idx), "quantized scan recall < 1"
+    assert np.allclose(exact_dist, quant_dist, rtol=1e-6, atol=1e-6)
+    return {
+        "dataset": dataset_name,
+        "profile": profile,
+        "backend": "brute-force-quantized",
+        "kind": "quantized_scan",
+        "rows": int(vectors.shape[0]),
+        "dim": int(vectors.shape[1]),
+        "num_queries": num_queries,
+        "k": k,
+        "repeats": max(repeats, 1),
+        "native_enabled": native_mod.get_kernel() is not None,
+        "recall_vs_exact": 1.0,
+        "seconds_exact_scan": round(exact_seconds, 4),
+        "seconds_quantized_scan": round(quant_seconds, 4),
+        "quantized_speedup": round(exact_seconds / max(quant_seconds, 1e-9), 2),
+        "note": "opt-in only (quantized_scan=True); single-core bench box",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
 def run_snapshot_delta_bench(
     dataset_name: str = "music-200",
     profile: str = "bench",
@@ -729,3 +932,39 @@ def test_bench_lsh_dedup(bench_profile):
         f"{radix_part}query delta {record['query_delta_seconds']*1e3:.1f}ms)"
     )
     assert record["unique_keys"] > 0
+
+
+def test_bench_kernel_rerank(bench_profile):
+    """Per-variant short-segment re-rank + threaded HNSW build timings."""
+    import shutil
+
+    if shutil.which(os.environ.get("CC", "gcc")) is None:
+        import pytest
+
+        pytest.skip("kernel variant matrix needs a C compiler")
+    record = run_kernel_rerank_bench("music-200", bench_profile, repeats=3)
+    write_bench_record(record)
+    avx2 = record["seconds_rerank_avx2"]
+    avx2_part = f", avx2 {avx2*1e3:.1f}ms" if avx2 is not None else " (no AVX2)"
+    print(
+        f"\n  rerank over {record['rows']}x{record['dim']} (seg {record['segment']}): "
+        f"python {record['seconds_rerank_python']*1e3:.1f}ms, "
+        f"scalar {record['seconds_rerank_scalar']*1e3:.1f}ms{avx2_part}; "
+        f"build 1t {record['seconds_build_threads_1']:.2f}s vs "
+        f"2t {record['seconds_build_threads_2']:.2f}s (single-core box)"
+    )
+    assert record["seconds_rerank_scalar"] > 0
+
+
+def test_bench_quantized_scan(bench_profile):
+    """Opt-in quantized coarse scan vs the dense exact scan (recall == 1)."""
+    record = run_quantized_scan_bench("music-200", bench_profile, repeats=3)
+    write_bench_record(record)
+    print(
+        f"\n  quantized scan over {record['rows']}x{record['dim']} "
+        f"({record['num_queries']} queries, k={record['k']}): exact "
+        f"{record['seconds_exact_scan']:.3f}s vs quantized "
+        f"{record['seconds_quantized_scan']:.3f}s "
+        f"({record['quantized_speedup']:.2f}x, recall 1.0)"
+    )
+    assert record["recall_vs_exact"] == 1.0

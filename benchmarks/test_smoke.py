@@ -312,3 +312,81 @@ def test_smoke_brute_force_batched_query(smoke_vectors):
     assert indices.shape == (len(b), 5)
     assert np.isfinite(distances[:, 0]).all()
     assert elapsed < EXTEND_CEILING_SECONDS, f"brute-force batch query took {elapsed:.1f}s"
+
+
+_MATRIX_SNIPPET = """\
+import hashlib
+import numpy as np
+from repro.ann import HNSWIndex
+from repro.ann import native
+
+rng = np.random.default_rng(7)
+vectors = rng.standard_normal((250, 36)).astype(np.float32)
+queries = rng.standard_normal((25, 36)).astype(np.float32)
+index = HNSWIndex(seed=4, kernel_threads={threads}).build(vectors[:180])
+index.extend(vectors[180:])
+idx, dist = index.query(queries, 4)
+digest = hashlib.blake2b(digest_size=16)
+for layer in range(len(index._layer_neighbors)):
+    digest.update(index._layer_neighbors[layer][:250].tobytes())
+    digest.update(index._layer_dists[layer][:250].tobytes())
+digest.update(idx.tobytes())
+digest.update(dist.tobytes())
+print("VARIANT", native.kernel_variant())
+print("DIGEST", digest.hexdigest())
+"""
+
+
+@pytest.mark.smoke
+def test_smoke_kernel_compile_matrix():
+    """One graph digest across every kernel tier: off / scalar / AVX2 / threaded.
+
+    Each leg runs in a subprocess with its own ``REPRO_NATIVE`` /
+    ``REPRO_NATIVE_VARIANT`` environment, builds + extends + queries the same
+    HNSW index, and prints a digest over the full graph and query output. All
+    legs must agree byte-for-byte — the kernel tiers are alternative
+    *implementations*, never alternative *results*. Legs the environment
+    can't provide (no compiler, no AVX2 CPU) are skipped with the reason.
+    """
+    src_root = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    base_env = {**os.environ}
+    base_env["PYTHONPATH"] = src_root + os.pathsep + base_env.get("PYTHONPATH", "")
+    base_env.pop("REPRO_NATIVE", None)
+    base_env.pop("REPRO_NATIVE_VARIANT", None)
+
+    legs = [("python-fallback", {"REPRO_NATIVE": "0"}, 1)]
+    have_compiler = shutil.which(os.environ.get("CC", "gcc")) is not None
+    native_disabled = os.environ.get("REPRO_NATIVE", "").lower() in ("0", "off", "false")
+    if have_compiler and not native_disabled:
+        legs.append(("native-scalar", {"REPRO_NATIVE_VARIANT": "scalar"}, 1))
+        legs.append(("native-threads-2", {"REPRO_NATIVE_VARIANT": "scalar"}, 2))
+        from repro.ann.native import _cpu_supports_avx2
+
+        if _cpu_supports_avx2():
+            legs.append(("native-avx2", {"REPRO_NATIVE_VARIANT": "avx2"}, 1))
+        else:
+            print("\n  skipping native-avx2 leg: CPU lacks AVX2+FMA3")
+    else:
+        reason = "native kernel disabled via REPRO_NATIVE" if native_disabled else "no C compiler"
+        pytest.skip(f"only the python-fallback leg is runnable here: {reason}")
+
+    digests: dict[str, str] = {}
+    for name, extra_env, threads in legs:
+        env = {**base_env, **extra_env}
+        completed = subprocess.run(
+            [sys.executable, "-c", _MATRIX_SNIPPET.format(threads=threads)],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert completed.returncode == 0, f"{name} leg failed:\n{completed.stderr[-2000:]}"
+        digests[name] = completed.stdout.strip().splitlines()[-1]
+        if name == "native-scalar":
+            assert "VARIANT scalar" in completed.stdout
+        if name == "native-avx2":
+            assert "VARIANT avx2" in completed.stdout
+        if name == "python-fallback":
+            assert "VARIANT None" in completed.stdout
+    reference = digests["python-fallback"]
+    for name, digest in digests.items():
+        assert digest == reference, f"{name} leg diverged from the python fallback"

@@ -15,7 +15,7 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from .base import NearestNeighborIndex
 from .brute_force import BruteForceIndex
-from .cache import IndexCache
+from .cache import IndexCache, index_params_key
 from .hnsw import HNSWIndex
 from .lsh import LSHIndex
 
@@ -49,15 +49,20 @@ def create_index(
     lsh_num_bits: int = 12,
     lsh_probe_neighbors: bool = True,
     seed: int = 0,
+    kernel_threads: int = 1,
+    quantized_scan: bool = False,
 ) -> NearestNeighborIndex:
     """Instantiate an ANN backend by name.
 
     ``"auto"`` chooses brute force for small sides and HNSW for large ones,
     matching the practical advice that graph indexes only pay off at scale.
+    ``kernel_threads`` feeds the HNSW native build (content-neutral);
+    ``quantized_scan`` opts the brute-force backend into the int8 coarse
+    scan + exact re-rank path.
     """
     backend = resolve_backend(backend, size_hint, brute_force_limit)
     if backend == "brute-force":
-        return BruteForceIndex(metric=metric)
+        return BruteForceIndex(metric=metric, quantized_scan=quantized_scan)
     if backend == "hnsw":
         return HNSWIndex(
             metric=metric,
@@ -65,6 +70,7 @@ def create_index(
             ef_construction=hnsw_ef_construction,
             ef_search=hnsw_ef_search,
             seed=seed,
+            kernel_threads=kernel_threads,
         )
     if backend == "lsh":
         return LSHIndex(
@@ -153,7 +159,7 @@ def mutual_top_k(
         if cache is None:
             return build()
         resolved = resolve_backend(backend, vectors.shape[0], brute_force_limit)
-        params_key = (resolved, metric, tuple(sorted(kwargs.items())))
+        params_key = index_params_key(resolved, metric, kwargs)
         return cache.get_or_build(vectors, build, params_key=params_key)
 
     index_b = build_side(vectors_b)

@@ -19,6 +19,15 @@ toolchain, BLAS symbols, or bit-identity assumptions do not hold silently
 falls back to the pure-Python implementations — same outputs, just slower.
 Set ``REPRO_NATIVE=0`` to force the fallback, ``REPRO_NATIVE=require`` to
 make unavailability a hard error.
+
+Two kernel variants exist: ``scalar`` (plain ``-O2``) and ``avx2``
+(``-mavx2 -mfma -ffp-contract=off``, SkylakeX-exact SIMD micro-kernels for
+the short-segment distance dispatch).  ``REPRO_NATIVE_VARIANT=auto`` (the
+default) tries AVX2 when numpy's CPU probe reports AVX2+FMA3 and falls back
+to scalar if the variant's own byte-identity self-test fails;
+``scalar`` / ``avx2`` pin a variant explicitly.  Compiled objects are cached
+keyed on (source digest, compiler, flags, cpu-feature set), so flag toggles
+or cross-machine copies can never serve a stale or wrong-ISA binary.
 """
 
 from __future__ import annotations
@@ -50,16 +59,19 @@ _SYMBOL_PAIRS = (
 class NativeKernel:
     """ctypes handle to the compiled kernel, with the BLAS pointers installed."""
 
-    def __init__(self, lib: ctypes.CDLL, blas: ctypes.CDLL) -> None:
+    def __init__(self, lib: ctypes.CDLL, blas: ctypes.CDLL, variant: str = "scalar") -> None:
         self._lib = lib
         self._blas = blas  # keep the BLAS handle alive
+        self.variant = variant
         i64, i32, vp = ctypes.c_int64, ctypes.c_int, ctypes.c_void_p
         pvp = ctypes.POINTER(vp)
         lib.ann_set_blas.argtypes = [vp, vp]
         lib.ann_set_blas.restype = None
+        lib.ann_kernel_variant.argtypes = []
+        lib.ann_kernel_variant.restype = i32
         lib.hnsw_build.argtypes = [
             vp, vp, i64, i32, i32, pvp, pvp, pvp, vp, i64, i64,
-            vp, i64, i64, vp, vp, vp, vp,
+            vp, i64, i64, vp, vp, vp, vp, i64,
         ]
         lib.hnsw_build.restype = i32
         lib.hnsw_query.argtypes = [
@@ -73,10 +85,17 @@ class NativeKernel:
         lib.ann_rerank_csr.restype = i32
         lib.ann_dedup_i64.argtypes = [vp, i64]
         lib.ann_dedup_i64.restype = i64
+        lib.ann_quantized_scan.argtypes = [
+            vp, vp, i64, i64, i64, vp, i32, vp, vp, i64, i64, vp,
+        ]
+        lib.ann_quantized_scan.restype = i32
         self.build = lib.hnsw_build
         self.query = lib.hnsw_query
         self.rerank = lib.ann_rerank_csr
         self.dedup = lib.ann_dedup_i64
+        self.quantized_scan = lib.ann_quantized_scan
+        if int(lib.ann_kernel_variant()) != (1 if variant == "avx2" else 0):
+            raise OSError(f"compiled object does not match requested variant {variant!r}")
 
     @staticmethod
     def pointer_array(arrays: list) -> "ctypes.Array[ctypes.c_void_p]":
@@ -158,18 +177,52 @@ def _build_directory() -> str:
     return tempfile.mkdtemp(prefix="repro-native-build-")  # 0o700, per process
 
 
-def _compile_kernel() -> ctypes.CDLL:
+#: per-variant compiler flags.  The AVX2 variant pins -ffp-contract=off so the
+#: compiler cannot fuse the micro-kernels' scalar tails into FMAs — every FMA
+#: in that build is an explicit intrinsic, matching OpenBLAS's code exactly.
+_VARIANT_FLAGS: dict[str, tuple[str, ...]] = {
+    "scalar": ("-O2", "-pthread"),
+    "avx2": ("-O2", "-pthread", "-mavx2", "-mfma", "-ffp-contract=off",
+             "-DANN_VARIANT_AVX2"),
+}
+
+
+def _cpu_features() -> dict:
+    """numpy's runtime CPU-feature map (empty when the probe is unavailable)."""
+    try:
+        from numpy._core._multiarray_umath import __cpu_features__
+    except ImportError:
+        try:  # numpy 1.x layout
+            from numpy.core._multiarray_umath import __cpu_features__
+        except ImportError:
+            return {}
+    return dict(__cpu_features__)
+
+
+def _cpu_supports_avx2() -> bool:
+    features = _cpu_features()
+    return bool(features.get("AVX2")) and bool(features.get("FMA3"))
+
+
+def _compile_kernel(variant: str) -> ctypes.CDLL:
     with open(_SOURCE, "rb") as handle:
         source = handle.read()
-    digest = hashlib.sha256(source).hexdigest()[:16]
+    compiler = os.environ.get("CC", "gcc")
+    flags = _VARIANT_FLAGS[variant]
+    # Cache key = (source, compiler, flags, cpu-feature set): toggling
+    # SIMD/thread flags or moving a cached .so across machines can never
+    # serve a stale or wrong-ISA kernel.
+    enabled_features = sorted(name for name, on in _cpu_features().items() if on)
+    hasher = hashlib.sha256(source)
+    hasher.update(repr((compiler, flags, enabled_features)).encode())
+    digest = hasher.hexdigest()[:16]
     build_dir = _build_directory()
-    out_path = os.path.join(build_dir, f"ann_kernel-{digest}.so")
+    out_path = os.path.join(build_dir, f"ann_kernel-{variant}-{digest}.so")
     if not os.path.exists(out_path):
         tmp_path = f"{out_path}.{os.getpid()}.tmp"
-        compiler = os.environ.get("CC", "gcc")
         try:
             completed = subprocess.run(
-                [compiler, "-O2", "-shared", "-fPIC", "-o", tmp_path, _SOURCE, "-lm"],
+                [compiler, *flags, "-shared", "-fPIC", "-o", tmp_path, _SOURCE, "-lm"],
                 capture_output=True,
                 text=True,
             )
@@ -191,43 +244,72 @@ def _compile_kernel() -> ctypes.CDLL:
     return ctypes.CDLL(out_path)
 
 
+def _hnsw_pair_error(vectors, queries, metric: str, split: int, ks=(1, 5),
+                     kernel_threads: int = 1, label: str = "", **kwargs) -> str | None:
+    """Byte-compare a python-path vs native-path HNSW build/extend/query pair."""
+    import numpy as np
+
+    from .hnsw import HNSWIndex
+
+    tag = f"{metric}{label}"
+    python_index = HNSWIndex(metric=metric, **kwargs)
+    python_index._use_native = False
+    python_index.build(vectors[:split]).extend(vectors[split:])
+    native_index = HNSWIndex(metric=metric, kernel_threads=kernel_threads, **kwargs)
+    native_index._use_native = True
+    native_index.build(vectors[:split]).extend(vectors[split:])
+    n = vectors.shape[0]
+    if python_index._max_level != native_index._max_level or (
+        python_index._entry_point != native_index._entry_point
+    ):
+        return f"{tag}: entry point diverged"
+    for layer in range(python_index._max_level + 1):
+        if not np.array_equal(
+            python_index._layer_neighbors[layer][:n], native_index._layer_neighbors[layer][:n]
+        ) or not np.array_equal(
+            python_index._layer_dists[layer][:n], native_index._layer_dists[layer][:n]
+        ) or list(python_index._layer_degrees[layer][:n]) != list(
+            native_index._layer_degrees[layer][:n]
+        ):
+            return f"{tag}: graph layer {layer} diverged"
+    for k in ks:
+        p_idx, p_dist = python_index.query(queries, k)
+        n_idx, n_dist = native_index.query(queries, k)
+        if not np.array_equal(p_idx, n_idx) or p_dist.tobytes() != n_dist.tobytes():
+            return f"{tag}: query (k={k}) diverged"
+    return None
+
+
 def _self_test() -> str | None:
     """Build/extend/query small indexes through both paths; return error or None."""
     import numpy as np
 
-    from .hnsw import HNSWIndex
     from .lsh import LSHIndex
 
     rng = np.random.default_rng(1234)
     vectors = rng.normal(size=(160, 32)).astype(np.float32)
     vectors[17] = vectors[3]  # exercise exact ties
     queries = vectors[:30]
+    base_kwargs = dict(max_degree=6, ef_construction=30, ef_search=20, seed=7)
     for metric in ("cosine", "euclidean"):
-        python_index = HNSWIndex(metric=metric, max_degree=6, ef_construction=30, ef_search=20, seed=7)
-        python_index._use_native = False
-        python_index.build(vectors[:120]).extend(vectors[120:])
-        native_index = HNSWIndex(metric=metric, max_degree=6, ef_construction=30, ef_search=20, seed=7)
-        native_index._use_native = True
-        native_index.build(vectors[:120]).extend(vectors[120:])
-        n = vectors.shape[0]
-        if python_index._max_level != native_index._max_level or (
-            python_index._entry_point != native_index._entry_point
-        ):
-            return f"{metric}: entry point diverged"
-        for layer in range(python_index._max_level + 1):
-            if not np.array_equal(
-                python_index._layer_neighbors[layer][:n], native_index._layer_neighbors[layer][:n]
-            ) or not np.array_equal(
-                python_index._layer_dists[layer][:n], native_index._layer_dists[layer][:n]
-            ) or list(python_index._layer_degrees[layer][:n]) != list(
-                native_index._layer_degrees[layer][:n]
-            ):
-                return f"{metric}: graph layer {layer} diverged"
-        for k in (1, 5):
-            p_idx, p_dist = python_index.query(queries, k)
-            n_idx, n_dist = native_index.query(queries, k)
-            if not np.array_equal(p_idx, n_idx) or p_dist.tobytes() != n_dist.tobytes():
-                return f"{metric}: query (k={k}) diverged"
+        error = _hnsw_pair_error(vectors, queries, metric, 120, **base_kwargs)
+        if error is not None:
+            return error
+    # Dimension sweep beyond the main case: d=72 stays inside the AVX2
+    # micro-kernel envelope (d % 4 == 0) at a different tail shape, d=37
+    # exercises the d % 4 != 0 BLAS fall-through alongside the sdot path.
+    extra_kwargs = dict(max_degree=5, ef_construction=24, ef_search=16, seed=3)
+    for d, metric in ((72, "cosine"), (72, "euclidean"), (37, "cosine")):
+        extra = rng.normal(size=(90, d)).astype(np.float32)
+        error = _hnsw_pair_error(extra, extra[:10], metric, 70, ks=(1, 4),
+                                 label=f" d={d}", **extra_kwargs)
+        if error is not None:
+            return error
+    # Threaded build: byte-identical at kernel_threads=2 (speculative rounds).
+    error = _hnsw_pair_error(vectors, queries, "cosine", 120, kernel_threads=2,
+                             label=" kernel_threads=2", **base_kwargs)
+    if error is not None:
+        return error
     # LSH probe + re-rank: duplicate rows (exact distance ties), probe
     # variants, and far-away all-miss queries all byte-compare through the
     # shared CSR re-rank.
@@ -259,7 +341,36 @@ def _self_test() -> str | None:
         got = engine.dedup_sorted_keys(case.copy(), use_native=True)
         if not np.array_equal(got, expected):
             return "radix dedup diverged from sorted unique"
+    # Quantized coarse scan: the native int8 scan must emit the exact
+    # candidate segments the numpy fallback emits (same int32 dots, same
+    # float32 score ops, same stable selection).
+    from .distances import PreparedVectors
+
+    for metric in ("cosine", "euclidean"):
+        prepared = PreparedVectors(vectors, metric)
+        plane = engine.QuantizedPlane(prepared)
+        qcodes, qscales = plane.quantize_queries(prepared.prepare_queries(queries))
+        for c in (3, 17):
+            native_rows = engine.quantized_scan_rows(
+                plane, qcodes, qscales, c, use_native=True
+            )
+            python_rows = engine.quantized_scan_rows(
+                plane, qcodes, qscales, c, use_native=False
+            )
+            if not np.array_equal(native_rows, python_rows):
+                return f"{metric}: quantized scan (c={c}) diverged"
     return None
+
+
+def kernel_variant() -> str | None:
+    """Active kernel variant (``"scalar"`` / ``"avx2"``), or None when disabled.
+
+    Cache keys that must distinguish compiled-kernel generations (e.g. the
+    on-disk build cache) should use this tag rather than re-deriving CPU
+    features themselves.
+    """
+    kernel = get_kernel()
+    return None if kernel is None else kernel.variant
 
 
 def get_kernel() -> NativeKernel | None:
@@ -300,26 +411,38 @@ def _load_kernel() -> NativeKernel | None:
             _loaded = True
             return None
         blas, sgemv, sdot = resolved
-        try:
-            lib = _compile_kernel()
-            kernel = NativeKernel(lib, blas)
-            lib.ann_set_blas(sgemv, sdot)
-        except Exception as error:  # toolchain, loader, or symbol failures
-            disabled_reason = f"kernel load failed: {error}"
+        requested = os.environ.get("REPRO_NATIVE_VARIANT", "auto").lower()
+        if requested == "avx2":
+            variants = ["avx2"]
+        elif requested == "scalar":
+            variants = ["scalar"]
+        else:  # auto: try AVX2 where the CPU has it, honest-fallback to scalar
+            variants = (["avx2"] if _cpu_supports_avx2() else []) + ["scalar"]
+        errors: list[str] = []
+        for variant in variants:
+            try:
+                lib = _compile_kernel(variant)
+                kernel = NativeKernel(lib, blas, variant=variant)
+                lib.ann_set_blas(sgemv, sdot)
+            except Exception as error:  # toolchain, loader, or symbol failures
+                errors.append(f"{variant}: kernel load failed: {error}")
+                continue
+            _probing = kernel
+            try:
+                error = _self_test()
+            except Exception as exc:  # a crash counts as a failed self-test
+                error = f"self-test raised {exc!r}"
+            finally:
+                _probing = None
+            if error is not None:
+                # A non-bit-equal variant is rejected, never served; the next
+                # (scalar) variant gets its own compile + self-test pass.
+                errors.append(f"{variant}: byte-identity self-test failed: {error}")
+                continue
+            disabled_reason = None
+            _kernel = kernel
             _loaded = True
-            return None
-        _probing = kernel
-        try:
-            error = _self_test()
-        except Exception as exc:  # a crash counts as a failed self-test
-            error = f"self-test raised {exc!r}"
-        finally:
-            _probing = None
-        if error is not None:
-            disabled_reason = f"byte-identity self-test failed: {error}"
-            _loaded = True
-            return None
-        disabled_reason = None
-        _kernel = kernel
+            return _kernel
+        disabled_reason = "; ".join(errors) or "no kernel variant available"
         _loaded = True
-        return _kernel
+        return None

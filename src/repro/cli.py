@@ -83,6 +83,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
         config = config.with_overrides(merging={"m": args.m})
     if args.epsilon is not None:
         config = config.with_overrides(pruning={"epsilon": args.epsilon})
+    if args.kernel_threads is not None:
+        config = config.with_overrides(parallel={"kernel_threads": args.kernel_threads})
+    if args.quantized_scan:
+        config = config.with_overrides(merging={"quantized_scan": True})
     result = MultiEM(config).match(dataset)
     print(f"selected attributes: {', '.join(result.selected_attributes)}")
     print(f"predicted tuples:    {result.num_tuples}")
@@ -386,6 +390,14 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--parallel", action="store_true")
     match.add_argument("--m", type=float, default=None, help="merging distance threshold")
     match.add_argument("--epsilon", type=float, default=None, help="pruning radius")
+    match.add_argument(
+        "--kernel-threads", type=int, default=None,
+        help="native HNSW build threads (content-neutral; graphs are byte-identical)",
+    )
+    match.add_argument(
+        "--quantized-scan", action="store_true",
+        help="opt the brute-force backend into the int8 coarse scan + exact re-rank",
+    )
     match.add_argument("--output", default=None, help="write predicted groups to this JSON file")
     match.set_defaults(func=_cmd_match)
 

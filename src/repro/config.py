@@ -88,6 +88,14 @@ class MergingConfig:
             across hierarchy levels (and across ``add_table`` calls in the
             incremental matcher). Reuse is exact, so results are unchanged.
         index_cache_entries: LRU capacity of that cache.
+        kernel_threads: worker threads for the native HNSW build (``1`` =
+            sequential). Content-neutral — the threaded build commits in
+            insertion order and produces byte-identical graphs at any
+            setting. Usually set via ``ParallelConfig.kernel_threads``,
+            which the pipeline copies here.
+        quantized_scan: opt the brute-force backend into the int8 coarse
+            scan + exact float32 re-rank path (never a default; see
+            :func:`repro.ann.engine.quantized_topk`).
         seed: seed controlling the random pairing of tables at each hierarchy
             level (Figure 6(b) studies sensitivity to this order).
     """
@@ -105,6 +113,8 @@ class MergingConfig:
     lsh_probe_neighbors: bool = True
     index_cache: bool = True
     index_cache_entries: int = 8
+    kernel_threads: int = 1
+    quantized_scan: bool = False
     seed: int = 0
 
     def validate(self) -> None:
@@ -122,6 +132,8 @@ class MergingConfig:
             raise ConfigurationError("lsh_num_tables and lsh_num_bits must be >= 1")
         if self.index_cache_entries < 1:
             raise ConfigurationError("index_cache_entries must be >= 1")
+        if self.kernel_threads < 1:
+            raise ConfigurationError("kernel_threads must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -193,6 +205,11 @@ class ParallelConfig:
         max_retries: pool-restart rounds before serial degradation.
         retry_backoff: base sleep (seconds) between rounds, doubled each
             round.
+        kernel_threads: worker threads inside the native HNSW build kernel
+            (``1`` = sequential). Orthogonal to the pool knobs above — this
+            parallelises *within* one index build rather than across tasks —
+            and content-neutral: graphs are byte-identical at any setting.
+            The pipeline copies it onto ``MergingConfig.kernel_threads``.
     """
 
     enabled: bool = False
@@ -204,12 +221,15 @@ class ParallelConfig:
     task_timeout: float | None = None
     max_retries: int = 2
     retry_backoff: float = 0.1
+    kernel_threads: int = 1
 
     def validate(self) -> None:
         if self.backend not in ("thread", "process", "serial"):
             raise ConfigurationError(f"unknown parallel backend {self.backend!r}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1 when given")
+        if self.kernel_threads < 1:
+            raise ConfigurationError("kernel_threads must be >= 1")
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ConfigurationError("task_timeout must be > 0 when given")
         if self.max_retries < 0:

@@ -33,7 +33,11 @@ Process workers are started with an initializer that
   arrays arrive copy-on-write). Workers keep extending their local caches
   across tasks, which restores cross-level ANN index reuse for the process
   backend. Cache reuse is exact, so results are byte-identical with or
-  without it.
+  without it;
+* **adopts the parent's dedup calibration verdict**
+  (:func:`repro.ann.engine.set_dedup_native_preferred`): the parent times
+  the two dedup paths once and ships the boolean through ``initargs``, so
+  workers never repeat the ~1M-key calibration sort.
 
 Because a process pool ships tasks by pickle, callers dispatch module-level
 task functions to it (see :mod:`repro.core.merging` /
@@ -66,17 +70,22 @@ R = TypeVar("R")
 _WORKER_STATE: dict = {}
 
 
-def _process_worker_init(cache_entries: int, cache_payload: tuple) -> None:
+def _process_worker_init(
+    cache_entries: int, cache_payload: tuple, dedup_native: bool | None = None
+) -> None:
     """Initializer run once in every process-pool worker.
 
     Warms the runtime-compiled ANN kernel (the ``.so`` is disk-cached, so
-    this is a load + byte-identity self-test, not a recompile) and installs
-    the worker-local index cache, optionally seeded from the parent's
-    snapshot.
+    this is a load + byte-identity self-test, not a recompile), installs the
+    worker-local index cache, optionally seeded from the parent's snapshot,
+    and adopts the parent's dedup calibration verdict so workers skip the
+    ~1M-key timing run at warmup (the verdict is a pure performance choice —
+    both dedup paths return identical arrays — so inheriting it is safe).
     """
-    from ..ann import native
+    from ..ann import engine, native
 
     native.get_kernel()  # None (with a recorded reason) is a valid outcome
+    engine.set_dedup_native_preferred(dedup_native)
     cache = None
     if cache_entries > 0:
         from ..ann.cache import IndexCache
@@ -160,11 +169,16 @@ class ParallelExecutor:
         self._attached_cache = cache
 
     # ------------------------------------------------------------- pools
-    def _process_initargs(self) -> tuple[int, tuple]:
+    def _process_initargs(self) -> tuple[int, tuple, bool]:
+        # Calibrate dedup in the parent (once per process, cached) so every
+        # worker inherits the verdict instead of re-timing a ~1M-key sort.
+        from ..ann import engine
+
+        dedup_native = engine.dedup_native_preferred()
         cache = self._attached_cache
         if cache is None:
-            return 0, ()
-        return cache.max_entries, tuple(cache.snapshot())
+            return 0, (), dedup_native
+        return cache.max_entries, tuple(cache.snapshot()), dedup_native
 
     def _make_pool(self) -> Executor:
         if self.config.backend == "thread":

@@ -467,6 +467,8 @@ class MatchSession:
             "lsh_num_tables": merging.lsh_num_tables,
             "lsh_num_bits": merging.lsh_num_bits,
             "lsh_probe_neighbors": merging.lsh_probe_neighbors,
+            "kernel_threads": merging.kernel_threads,
+            "quantized_scan": merging.quantized_scan,
             "seed": merging.seed,
         }
 
@@ -486,7 +488,9 @@ class MatchSession:
             resolved = resolve_backend(
                 merging.index, table.vectors.shape[0], merging.brute_force_limit
             )
-            params_key = (resolved, merging.metric, tuple(sorted(index_kwargs.items())))
+            from ..ann.cache import index_params_key
+
+            params_key = index_params_key(resolved, merging.metric, index_kwargs)
             index = cache.get_or_build(table.vectors, build, params_key=params_key)
         else:
             index = build()
