@@ -19,6 +19,15 @@ class NearestNeighborIndex(ABC):
 
     metric: str
 
+    #: Whether ``query`` answers each row independently of the rest of the
+    #: batch — i.e. row ``i`` of a batched call is bit-identical to a
+    #: single-row call with the same vector. Backends whose hot path changes
+    #: BLAS dispatch with the batch shape (the dense GEMM scan) leave this
+    #: ``False``; :func:`repro.ann.engine.query_rows` then falls back to a
+    #: per-row loop so callers that need batch-composition-invariant answers
+    #: (the serving coalescer) get them from any backend.
+    batch_invariant: bool = False
+
     def __init__(self, metric: str = "cosine") -> None:
         self.metric = metric
         self._vectors: np.ndarray | None = None

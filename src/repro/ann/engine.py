@@ -466,3 +466,31 @@ def quantized_topk(
     rerank_csr(
         prepared, prepared_queries, candidates, offsets, k, indices, distances, use_native=use_native
     )
+
+
+def query_rows(index, queries: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Batched top-K whose per-row answers never depend on batch composition.
+
+    The serving plane's entry point: row ``i`` of the result is bit-identical
+    to ``index.query(queries[i:i+1], k)``, whatever else rides in the batch —
+    the property that lets the request coalescer fold concurrent requests
+    into one call and slice per-request answers back out byte-identically.
+
+    Backends that declare ``batch_invariant`` (HNSW's per-row graph
+    traversal, LSH's per-segment re-rank) answer the whole batch in one
+    call, which is where the amortization lives; the dense brute-force scan
+    changes BLAS dispatch with the batch shape (an ``m=1`` GEMM takes the
+    GEMV path and can differ in the last float32 ulp), so it is evaluated
+    row by row here. At brute-force scale (``auto`` routes tables past
+    ``brute_force_limit`` to HNSW) each row is one prepared GEMV — the loop
+    costs microseconds and buys exactness of the coalescing contract.
+    """
+    queries = np.asarray(queries, dtype=np.float32)
+    if getattr(index, "batch_invariant", False) or queries.shape[0] <= 1:
+        return index.query(queries, k)
+    indices, distances = alloc_topk(queries.shape[0], k)
+    for row in range(queries.shape[0]):
+        row_indices, row_distances = index.query(queries[row : row + 1], k)
+        indices[row] = row_indices[0]
+        distances[row] = row_distances[0]
+    return indices, distances

@@ -54,6 +54,10 @@ from .distances import PreparedVectors
 class HNSWIndex(NearestNeighborIndex):
     """Approximate top-K search with a navigable small-world graph.
 
+    Queries are answered row by row (graph traversal per query vector), so
+    batched answers are independent of batch composition — pinned by
+    ``tests/serve/test_coalescer.py``.
+
     Args:
         metric: ``"cosine"`` or ``"euclidean"``.
         max_degree: ``M`` — max neighbours per node on upper layers (layer 0
@@ -68,6 +72,8 @@ class HNSWIndex(NearestNeighborIndex):
             byte-identical regardless — the knob is deliberately excluded
             from snapshot meta and index-cache keys.
     """
+
+    batch_invariant = True
 
     def __init__(
         self,

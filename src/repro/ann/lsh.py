@@ -32,7 +32,15 @@ from .distances import PreparedVectors
 
 
 class LSHIndex(NearestNeighborIndex):
-    """Sign-random-projection LSH with multi-table hashing and exact re-ranking."""
+    """Sign-random-projection LSH with multi-table hashing and exact re-ranking.
+
+    Batched answers are independent of batch composition: bucket probing is a
+    per-row sign pattern and the exact re-rank runs per candidate segment
+    (GEMV-shaped slices, never a batch-shaped GEMM) — pinned by
+    ``tests/serve/test_coalescer.py``.
+    """
+
+    batch_invariant = True
 
     def __init__(
         self,

@@ -18,7 +18,12 @@ Subcommands:
 * ``snapshot inspect`` — dump a single file's format version, segment
   layout, alias map, chain parentage, and delta op summary;
 * ``serve-match`` — restore a snapshot and fold one new source table into it
-  without refitting (the load-and-serve path).
+  without refitting (the load-and-serve path);
+* ``serve`` — run the long-lived async match-serving service
+  (:mod:`repro.serve`) over a snapshot: an asyncio HTTP front end with
+  request coalescing into the batched query engine, N forked workers
+  sharing the snapshot through mmap, admission control with backpressure,
+  hot snapshot reload, and ``/healthz`` + ``/metrics`` endpoints.
 
 Examples::
 
@@ -32,6 +37,7 @@ Examples::
     python -m repro.cli snapshot compact fit.snap.d1 --output compacted.snap
     python -m repro.cli snapshot inspect fit.snap.d1
     python -m repro.cli serve-match fit.snap ./music20 --table tableA --output preds.json
+    python -m repro.cli serve fit.snap --port 8600 --workers 2
 """
 
 from __future__ import annotations
@@ -370,6 +376,28 @@ def _cmd_serve_match(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import ServeConfig
+    from .serve import run as serve_run
+
+    if not Path(args.snapshot).exists():
+        raise ReproError(f"snapshot {args.snapshot!r} does not exist")
+    config = ServeConfig(
+        snapshot_path=args.snapshot,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        coalesce=not args.no_coalesce,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_inflight=args.max_inflight,
+        deadline_ms=args.deadline_ms,
+        reload_poll_s=args.reload_poll_s,
+    )
+    serve_run(config)
+    return 0
+
+
 # --------------------------------------------------------------------- parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
@@ -509,6 +537,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="materialize arrays instead of memory-mapping them")
     serve.add_argument("--output", default=None, help="write predicted groups to this JSON file")
     serve.set_defaults(func=_cmd_serve_match)
+
+    serve_http = sub.add_parser(
+        "serve", help="run the async match-serving service over a snapshot "
+        "(coalesced batched queries, forked mmap workers, hot reload)"
+    )
+    serve_http.add_argument("snapshot", help="snapshot file or chain tip to serve")
+    serve_http.add_argument("--host", default="127.0.0.1")
+    serve_http.add_argument("--port", type=int, default=8600,
+                            help="listen port (0 picks an ephemeral port)")
+    serve_http.add_argument("--workers", type=int, default=2,
+                            help="forked worker processes sharing the snapshot via mmap")
+    serve_http.add_argument("--no-coalesce", action="store_true",
+                            help="dispatch every request alone (the batching-off baseline)")
+    serve_http.add_argument("--max-batch", type=int, default=32,
+                            help="coalescer flushes as soon as a batch holds this many texts")
+    serve_http.add_argument("--max-wait-ms", type=float, default=2.0,
+                            help="how long the first request of a batch waits for company")
+    serve_http.add_argument("--max-inflight", type=int, default=256,
+                            help="admission high-water; past it requests get a fast 503")
+    serve_http.add_argument("--deadline-ms", type=float, default=30_000.0,
+                            help="per-request budget; exceeded requests get a 504")
+    serve_http.add_argument("--reload-poll-s", type=float, default=1.0,
+                            help="snapshot-change poll interval (0 disables hot reload)")
+    serve_http.set_defaults(func=_cmd_serve)
     return parser
 
 

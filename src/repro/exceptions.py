@@ -40,6 +40,12 @@ class StoreLockedError(StoreError):
     interleaving their temp files and chain links."""
 
 
+class ServeError(ReproError):
+    """The match-serving plane failed (no healthy workers, malformed frame,
+    worker protocol violation); HTTP-level misuse is reported to the client
+    as a status code instead and never raises this."""
+
+
 class EvaluationError(ReproError):
     """Ground truth and predictions cannot be compared (e.g. unknown entity refs)."""
 

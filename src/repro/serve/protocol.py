@@ -1,0 +1,124 @@
+"""Framed dispatcher ↔ worker messaging and canonical response encoding.
+
+One frame = a 4-byte big-endian length prefix + a UTF-8 JSON document. The
+same framing runs in both directions and on both sides of the fork: the
+dispatcher writes frames through asyncio streams
+(:func:`write_frame` / :func:`read_frame`), the worker reads them off its
+blocking socketpair end (:func:`send_frame` / :func:`recv_frame`). JSON is
+the right transport here — requests are raw texts and results are
+``(members, distance)`` hit lists, never large arrays; the vector planes
+themselves stay out of band, shared through the mmap'd snapshot file.
+
+Frame vocabulary (``op`` field): ``query`` (texts + k + max_distance →
+per-text hit rows), ``match_table`` (one serialized source table → predicted
+tuples), ``reload`` (swap the worker's session to the snapshot now at
+``path``), ``ping`` (liveness + loaded-state info), ``shutdown``. A request
+frame may carry a ``fault`` spec claimed from :mod:`repro.faults` — the
+worker executes it *before* touching the request, exactly like a pool
+worker, so worker-kill fault injection exercises the dispatcher's sibling
+retry.
+
+Byte-determinism: :func:`canonical_json` is the single serializer for HTTP
+response bodies. Responses are built from plain dicts/lists/str/int/float in
+a fixed construction order, so two responses carrying bit-equal results are
+byte-identical — the property the coalescer equivalence tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from ..exceptions import ServeError
+
+#: Hard cap on one frame's JSON payload (64 MB); a length prefix past this is
+#: a protocol violation (corrupt stream), not a big request.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """One wire frame: length prefix + compact JSON."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ServeError(f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def canonical_json(obj) -> bytes:
+    """The serving plane's one response serializer (compact separators).
+
+    Construction order of ``obj`` is the key order on the wire (no
+    ``sort_keys`` re-ordering surprises), and floats round-trip through
+    Python's shortest-repr formatting — deterministic for identical values.
+    """
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8")
+
+
+def _parse_frame(payload: bytes) -> dict:
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ServeError(f"malformed frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ServeError("frame payload must be a JSON object")
+    return message
+
+
+# ----------------------------------------------------------- blocking (worker)
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None  # peer closed mid-frame (or cleanly at size boundary)
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Next frame off a blocking socket; ``None`` on clean EOF."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(f"frame length {length} exceeds the {MAX_FRAME_BYTES} cap")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ServeError("peer closed mid-frame")
+    return _parse_frame(payload)
+
+
+# -------------------------------------------------------- asyncio (dispatcher)
+async def write_frame(writer, message: dict) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+async def read_frame(reader) -> dict | None:
+    """Next frame off an asyncio stream; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServeError("peer closed mid-frame") from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(f"frame length {length} exceeds the {MAX_FRAME_BYTES} cap")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ServeError("peer closed mid-frame") from exc
+    return _parse_frame(payload)

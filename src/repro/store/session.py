@@ -388,6 +388,78 @@ def compact_session(
         return digests
 
 
+class _QueryContext:
+    """Per-session query plumbing, resolved once instead of per request.
+
+    ``MatchSession.query`` used to rebuild the merging config's
+    ``index_kwargs`` dict, re-import the backend registry, and re-resolve the
+    backend + cache params key on **every** call — pure Python dispatch that
+    dwarfs the actual native re-rank once a coalescer drives thousands of
+    requests through the session. This object hoists all of it: the encoder
+    handle, the kwargs dict, the default distance cutoff, and a per-table-size
+    memo of the resolved backend's cache params key (backend resolution is a
+    function of the row count alone, which only changes on ``add_table``).
+    """
+
+    __slots__ = (
+        "representer",
+        "merging",
+        "cache",
+        "index_kwargs",
+        "default_max_distance",
+        "_resolved",
+    )
+
+    def __init__(self, matcher: IncrementalMultiEM) -> None:
+        assert matcher._representer is not None
+        self.representer = matcher._representer
+        merging = matcher.config.merging
+        self.merging = merging
+        self.cache = matcher._index_cache
+        self.default_max_distance = merging.m
+        self.index_kwargs = {
+            "hnsw_max_degree": merging.hnsw_max_degree,
+            "hnsw_ef_construction": merging.hnsw_ef_construction,
+            "hnsw_ef_search": merging.hnsw_ef_search,
+            "lsh_num_tables": merging.lsh_num_tables,
+            "lsh_num_bits": merging.lsh_num_bits,
+            "lsh_probe_neighbors": merging.lsh_probe_neighbors,
+            "kernel_threads": merging.kernel_threads,
+            "quantized_scan": merging.quantized_scan,
+            "seed": merging.seed,
+        }
+        self._resolved: dict[int, str] = {}
+
+    def index_for(self, table):
+        """The query index over ``table.vectors`` (cache-hit when possible)."""
+        from ..ann.cache import index_params_key
+        from ..ann.mutual import create_index, resolve_backend
+
+        merging = self.merging
+        size = int(table.vectors.shape[0])
+
+        def build():
+            return create_index(
+                merging.index,
+                merging.metric,
+                size_hint=size,
+                brute_force_limit=merging.brute_force_limit,
+                **self.index_kwargs,
+            ).build(table.vectors)
+
+        if self.cache is None:
+            return build()
+        # Same params key the merge stage uses, so a query content-hits the
+        # index a previous merge (or query) already built. Resolution is
+        # memoized by row count — the only input that varies per session.
+        params_key = self._resolved.get(size)
+        if params_key is None:
+            resolved = resolve_backend(merging.index, size, merging.brute_force_limit)
+            params_key = index_params_key(resolved, merging.metric, self.index_kwargs)
+            self._resolved[size] = params_key
+        return self.cache.get_or_build(table.vectors, build, params_key=params_key)
+
+
 class MatchSession:
     """A restored pipeline serving match and nearest-tuple queries.
 
@@ -399,6 +471,7 @@ class MatchSession:
     def __init__(self, matcher: IncrementalMultiEM, digests: dict | None = None) -> None:
         self.matcher = matcher
         self.digests = dict(digests or {})
+        self._query_context: _QueryContext | None = None
 
     @classmethod
     def from_snapshot(cls, snapshot: Snapshot, *, verify: bool = True) -> "MatchSession":
@@ -446,55 +519,35 @@ class MatchSession:
         previous ``add_table`` — never rebuild the index). Returns one list
         per text of ``(members, distance)`` pairs, nearest first; pairs
         beyond ``max_distance`` (default: the merging threshold ``m``) are
-        dropped.
+        dropped. A thin alias of :meth:`query_many`.
         """
-        matcher = self.matcher
-        table = matcher.integrated_table
+        return self.query_many(texts, k=k, max_distance=max_distance)
+
+    def query_many(self, texts, k: int = 1, max_distance: float | None = None):
+        """Batched nearest-tuple lookup; per-text answers are batch-invariant.
+
+        The serving plane's hot path: all per-session config plumbing lives
+        in a prepared :class:`_QueryContext` built on first use, and the
+        index query goes through :func:`repro.ann.engine.query_rows`, whose
+        contract is that each text's answer is bit-identical however the
+        batch is composed. That is what lets the request coalescer fold
+        concurrent requests into one ``encode_texts`` + one index query and
+        slice per-request results back out byte-identically (pinned by
+        ``tests/serve/test_coalescer.py``).
+        """
+        table = self.matcher.integrated_table
         if len(table) == 0:
             return [[] for _ in texts]
-        representer = matcher._representer
-        assert representer is not None
-        vectors = representer.encode_texts(list(texts))
-        merging = matcher.config.merging
+        context = self._query_context
+        if context is None:
+            context = self._query_context = _QueryContext(self.matcher)
         if max_distance is None:
-            max_distance = merging.m
-        from ..ann.mutual import create_index, resolve_backend
+            max_distance = context.default_max_distance
+        vectors = context.representer.encode_texts(list(texts))
+        index = context.index_for(table)
+        from ..ann.engine import query_rows
 
-        index_kwargs = {
-            "hnsw_max_degree": merging.hnsw_max_degree,
-            "hnsw_ef_construction": merging.hnsw_ef_construction,
-            "hnsw_ef_search": merging.hnsw_ef_search,
-            "lsh_num_tables": merging.lsh_num_tables,
-            "lsh_num_bits": merging.lsh_num_bits,
-            "lsh_probe_neighbors": merging.lsh_probe_neighbors,
-            "kernel_threads": merging.kernel_threads,
-            "quantized_scan": merging.quantized_scan,
-            "seed": merging.seed,
-        }
-
-        def build():
-            return create_index(
-                merging.index,
-                merging.metric,
-                size_hint=table.vectors.shape[0],
-                brute_force_limit=merging.brute_force_limit,
-                **index_kwargs,
-            ).build(table.vectors)
-
-        cache = matcher._index_cache
-        if cache is not None:
-            # Same params key the merge stage uses, so a query content-hits
-            # the index a previous merge (or query) already built.
-            resolved = resolve_backend(
-                merging.index, table.vectors.shape[0], merging.brute_force_limit
-            )
-            from ..ann.cache import index_params_key
-
-            params_key = index_params_key(resolved, merging.metric, index_kwargs)
-            index = cache.get_or_build(table.vectors, build, params_key=params_key)
-        else:
-            index = build()
-        indices, distances = index.query(vectors, k)
+        indices, distances = query_rows(index, vectors, k)
         from ..data.entity import EntityRef
 
         def members_of(item: int) -> tuple:

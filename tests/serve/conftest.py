@@ -1,0 +1,96 @@
+"""Fixtures for the serving-plane tests.
+
+One module-scoped snapshot (music-20 tiny, last table held out) backs every
+test here; expected answers are computed straight from a local
+:class:`MatchSession` over the same file, so server responses can be pinned
+byte-for-byte against what the session itself returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config import paper_default_config
+from repro.core.incremental import IncrementalMultiEM
+from repro.data.serialization import serialize_table
+from repro.store import MatchSession
+
+
+@pytest.fixture(scope="module")
+def serve_split(music_tiny):
+    names = sorted(music_tiny.tables)
+    base = music_tiny.subset(names[:-1], name=music_tiny.name)
+    return base, music_tiny.tables[names[-1]]
+
+
+@pytest.fixture(scope="module")
+def serve_snapshot(serve_split, tmp_path_factory):
+    base, _ = serve_split
+    matcher = IncrementalMultiEM(paper_default_config(base.name))
+    matcher.fit(base)
+    path = tmp_path_factory.mktemp("serve") / "serve.snap"
+    matcher.save(path)
+    matcher.close()
+    return path
+
+
+@pytest.fixture(scope="module")
+def serve_session(serve_snapshot):
+    with MatchSession.load(serve_snapshot) as session:
+        yield session
+
+
+@pytest.fixture(scope="module")
+def query_texts(serve_split):
+    """Six in-distribution texts plus one that matches nothing."""
+    base, _ = serve_split
+    table = base.table_list()[0]
+    texts = serialize_table(table, None, max_tokens=64)[:6]
+    return texts + ["zzz qqqqq xyzzy 000000 nothing alike"]
+
+
+def _rows_to_json(rows):
+    """A session's ``query_many`` answer in the worker's wire shape."""
+    return [
+        [[[[ref.source, ref.index] for ref in members], distance] for members, distance in hits]
+        for hits in rows
+    ]
+
+
+@pytest.fixture(scope="session")
+def rows_to_json():
+    return _rows_to_json
+
+
+async def _http_request(port, method, path, doc=None, host="127.0.0.1"):
+    """One close-delimited HTTP exchange; returns (status, headers, body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    body = b"" if doc is None else json.dumps(doc).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    head_bytes, _, payload = raw.partition(b"\r\n\r\n")
+    lines = head_bytes.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, payload
+
+
+@pytest.fixture(scope="session")
+def http_request():
+    return _http_request

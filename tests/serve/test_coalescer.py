@@ -1,0 +1,148 @@
+"""Coalescer equivalence: batched slices are byte-identical to serial answers.
+
+The runner here is a :class:`MatchSession` directly — no HTTP, no workers —
+so these tests pin exactly the property the server relies on: folding
+concurrent requests into one batched ``query_many`` and slicing per-request
+rows back out changes nothing, bit for bit, including ``max_distance``
+filtering and empty-result rows.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import QueryCoalescer, ServeMetrics
+from repro.serve.protocol import canonical_json
+
+
+def _session_runner(session):
+    async def runner(texts, k, max_distance):
+        return session.query_many(texts, k=k, max_distance=max_distance)
+
+    return runner
+
+
+def _gather(coalescer, submissions):
+    async def scenario():
+        return await asyncio.gather(
+            *(coalescer.submit(texts, **kwargs) for texts, kwargs in submissions)
+        )
+
+    return asyncio.run(scenario())
+
+
+class TestEquivalence:
+    def test_concurrent_single_text_requests_match_serial(
+        self, serve_session, query_texts, rows_to_json
+    ):
+        serial = [serve_session.query_many([text], k=2) for text in query_texts]
+        metrics = ServeMetrics()
+        coalescer = QueryCoalescer(
+            _session_runner(serve_session), max_batch=64, max_wait=0.05, metrics=metrics
+        )
+        results = _gather(coalescer, [([text], {"k": 2}) for text in query_texts])
+        assert results == serial
+        # Byte identity through the one response serializer, not just ==.
+        for coalesced, alone in zip(results, serial):
+            assert canonical_json(rows_to_json(coalesced)) == canonical_json(rows_to_json(alone))
+        # They actually rode together: one window, not one batch per request.
+        assert metrics.batches == 1
+        assert metrics.coalesced_requests == len(query_texts)
+        assert metrics.batch_size_hist == {str(len(query_texts)): 1}
+
+    def test_multi_text_requests_slice_back_correctly(self, serve_session, query_texts):
+        groups = [query_texts[0:1], query_texts[1:4], query_texts[4:7]]
+        serial = [serve_session.query_many(group, k=3) for group in groups]
+        coalescer = QueryCoalescer(_session_runner(serve_session), max_batch=64, max_wait=0.05)
+        results = _gather(coalescer, [(group, {"k": 3}) for group in groups])
+        assert results == serial
+
+    def test_max_distance_filtering_survives_coalescing(self, serve_session, query_texts):
+        cutoff = 0.35
+        serial = [
+            serve_session.query_many([text], k=2, max_distance=cutoff) for text in query_texts
+        ]
+        coalescer = QueryCoalescer(_session_runner(serve_session), max_batch=64, max_wait=0.05)
+        results = _gather(
+            coalescer, [([text], {"k": 2, "max_distance": cutoff}) for text in query_texts]
+        )
+        assert results == serial
+
+    def test_empty_result_rows_come_back_empty(self, serve_session, query_texts):
+        far = query_texts[-1]
+        assert serve_session.query_many([far], k=2) == [[]]
+        coalescer = QueryCoalescer(_session_runner(serve_session), max_batch=64, max_wait=0.05)
+        results = _gather(
+            coalescer, [([query_texts[0]], {"k": 2}), ([far], {"k": 2})]
+        )
+        assert results[1] == [[]]
+
+
+class TestWindowing:
+    def test_different_parameters_never_share_a_batch(self, serve_session, query_texts):
+        metrics = ServeMetrics()
+        coalescer = QueryCoalescer(
+            _session_runner(serve_session), max_batch=64, max_wait=0.05, metrics=metrics
+        )
+        submissions = [
+            ([query_texts[0]], {"k": 1}),
+            ([query_texts[1]], {"k": 1}),
+            ([query_texts[2]], {"k": 2}),
+            ([query_texts[3]], {"k": 1, "max_distance": 0.5}),
+        ]
+        results = _gather(coalescer, submissions)
+        assert metrics.batches == 3  # (k=1, None) ×2 shared; other keys alone
+        assert results == [
+            serve_session.query_many(texts, **kwargs) for texts, kwargs in submissions
+        ]
+
+    def test_size_trigger_flushes_full_batches(self, serve_session, query_texts):
+        metrics = ServeMetrics()
+        coalescer = QueryCoalescer(
+            _session_runner(serve_session), max_batch=3, max_wait=0.05, metrics=metrics
+        )
+        submissions = [([text], {"k": 1}) for text in query_texts]  # 7 texts, cap 3
+        results = _gather(coalescer, submissions)
+        assert results == [serve_session.query_many([t], k=1) for t in query_texts]
+        assert metrics.coalesced_requests == len(query_texts)
+        assert metrics.batches >= 3  # at least ceil(7 / 3) windows
+        assert all(int(size) <= 3 for size in metrics.batch_size_hist)
+
+    def test_disabled_coalescer_dispatches_each_request_alone(self, serve_session, query_texts):
+        metrics = ServeMetrics()
+        coalescer = QueryCoalescer(
+            _session_runner(serve_session), max_batch=1, max_wait=0.05, metrics=metrics
+        )
+        assert not coalescer.enabled
+        results = _gather(coalescer, [([text], {"k": 2}) for text in query_texts])
+        assert results == [serve_session.query_many([t], k=2) for t in query_texts]
+        assert metrics.batches == len(query_texts)
+
+    def test_runner_failure_reaches_every_waiter(self, serve_session):
+        async def failing_runner(texts, k, max_distance):
+            raise RuntimeError("engine exploded")
+
+        coalescer = QueryCoalescer(failing_runner, max_batch=64, max_wait=0.02)
+
+        async def scenario():
+            results = await asyncio.gather(
+                coalescer.submit(["a"]), coalescer.submit(["b"]), return_exceptions=True
+            )
+            return results
+
+        results = asyncio.run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_pending_texts_gauge_drains_to_zero(self, serve_session, query_texts):
+        coalescer = QueryCoalescer(_session_runner(serve_session), max_batch=64, max_wait=0.02)
+
+        async def scenario():
+            task = asyncio.ensure_future(coalescer.submit([query_texts[0]], k=1))
+            await asyncio.sleep(0)  # let submit open its window
+            depth = coalescer.pending_texts
+            await task
+            return depth, coalescer.pending_texts
+
+        depth_open, depth_after = asyncio.run(scenario())
+        assert depth_open == 1
+        assert depth_after == 0

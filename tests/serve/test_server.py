@@ -1,0 +1,227 @@
+"""End-to-end serving-plane tests: real forked workers, real HTTP bytes.
+
+Responses are pinned byte-for-byte against a local :class:`MatchSession`
+over the same snapshot file, serialized through the same
+:func:`~repro.serve.protocol.canonical_json` — the coalescer, the worker
+frame round-trip, and the HTTP layer must all be value-preserving for these
+to hold. The hot-reload test races queries against an ``os.replace`` of the
+snapshot and requires every response to be wholly old or wholly new.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+
+from repro.config import paper_default_config
+from repro.core.incremental import IncrementalMultiEM
+from repro.data.io import refs_to_json
+from repro.data.serialization import serialize_table
+from repro.serve import MatchServer, ServeConfig
+from repro.serve.protocol import canonical_json
+from repro.store import MatchSession
+
+
+def _serve(snapshot_path, **overrides):
+    defaults = dict(
+        snapshot_path=str(snapshot_path),
+        port=0,
+        workers=2,
+        max_wait_ms=1.0,
+        reload_poll_s=0.0,  # individual tests opt into the watcher
+    )
+    defaults.update(overrides)
+    return MatchServer(ServeConfig(**defaults))
+
+
+def test_server_end_to_end(serve_snapshot, serve_session, serve_split, query_texts,
+                           rows_to_json, http_request):
+    _, held_out = serve_split
+
+    # Expected /match-table document, computed on a throwaway session so the
+    # shared module fixture stays pristine.
+    with MatchSession.load(serve_snapshot) as scratch:
+        fold = scratch.match_new_table(held_out)
+        expected_tuples = sorted(refs_to_json(fold.tuples))
+        expected_sources = list(scratch.known_sources)
+
+    async def scenario():
+        server = _serve(serve_snapshot)
+        await server.start()
+        try:
+            status, _, body = await http_request(server.port, "GET", "/healthz")
+            health = json.loads(body)
+            assert (status, health["status"], health["workers"]) == (200, "ok", 2)
+            assert health["generation"] == 0 and health["degraded_workers"] == 0
+
+            # /query: byte-identical to the local session, single and multi.
+            for texts, kwargs in [
+                (query_texts[:1], {"k": 2}),
+                (query_texts[:4], {"k": 3}),
+                (query_texts[-1:], {"k": 2}),  # the no-hit text → empty row
+                (query_texts[:3], {"k": 2, "max_distance": 0.35}),
+            ]:
+                expected = canonical_json(
+                    {"rows": rows_to_json(serve_session.query_many(texts, **kwargs))}
+                )
+                status, _, body = await http_request(
+                    server.port, "POST", "/query", dict(texts=texts, **kwargs)
+                )
+                assert (status, body) == (200, expected)
+            baseline_query = body  # re-checked after /match-table below
+
+            # Bad inputs map to statuses, never to connection teardown.
+            for doc, path, expect in [
+                ({"texts": []}, "/query", 400),
+                ({"texts": [1, 2]}, "/query", 400),
+                ({"texts": ["x"], "k": 0}, "/query", 400),
+                (None, "/nope", 404),
+                ({"table": "not-an-object"}, "/match-table", 400),
+            ]:
+                status, _, _ = await http_request(server.port, "POST", path, doc)
+                assert status == expect
+            status, _, _ = await http_request(server.port, "GET", "/query")
+            assert status == 405
+
+            # /match-table: the fold a local session would compute, and the
+            # worker restores pristine state afterwards.
+            table_doc = {
+                "name": held_out.name,
+                "schema": list(held_out.schema),
+                "rows": [list(held_out.row(i)) for i in range(len(held_out))],
+            }
+            status, _, body = await http_request(
+                server.port, "POST", "/match-table", {"table": table_doc}
+            )
+            document = json.loads(body)
+            assert status == 200
+            assert document["tuples"] == expected_tuples
+            assert document["sources"] == expected_sources
+            status, _, body = await http_request(
+                server.port, "POST", "/query",
+                {"texts": query_texts[:3], "k": 2, "max_distance": 0.35},
+            )
+            assert (status, body) == (200, baseline_query)
+
+            # /metrics: the counters a load generator needs, live gauges too.
+            status, _, body = await http_request(server.port, "GET", "/metrics")
+            metrics = json.loads(body)
+            assert status == 200
+            assert metrics["requests_by_route"]["/query"] >= 6
+            assert metrics["batches"] >= 1
+            assert metrics["workers_healthy"] == 2 and metrics["workers_degraded"] == 0
+            # The /metrics request itself is counted on entry but its own
+            # response latency lands only after the snapshot is taken.
+            assert metrics["latency"]["count"] == metrics["requests_total"] - 1
+            assert metrics["responses_by_status"]["200"] >= 7
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_admission_control_rejects_past_high_water(serve_snapshot, query_texts, http_request):
+    async def scenario():
+        server = _serve(serve_snapshot, max_inflight=0)
+        await server.start()
+        try:
+            status, headers, body = await http_request(
+                server.port, "POST", "/query", {"texts": query_texts[:1]}
+            )
+            assert status == 503
+            assert headers["retry-after"] == "1"
+            assert b"capacity" in body
+            assert server.metrics.rejected_queue_full == 1
+            # Reads are never gated by admission control.
+            status, _, _ = await http_request(server.port, "GET", "/healthz")
+            assert status == 200
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_deadline_budget_maps_to_504(serve_snapshot, query_texts, http_request):
+    async def scenario():
+        # The coalescer window (200 ms) alone exceeds the 5 ms budget, so the
+        # request times out deterministically without any load.
+        server = _serve(serve_snapshot, deadline_ms=5.0, max_wait_ms=200.0)
+        await server.start()
+        try:
+            status, _, body = await http_request(
+                server.port, "POST", "/query", {"texts": query_texts[:1]}
+            )
+            assert status == 504
+            assert b"deadline" in body
+            assert server.metrics.rejected_deadline == 1
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())
+
+
+def test_hot_reload_swaps_between_batches(
+    serve_snapshot, music_tiny, serve_split, tmp_path, rows_to_json, http_request
+):
+    """Race queries against an ``os.replace`` of the snapshot: every response
+    must be wholly old-state or wholly new-state, and the plane must converge
+    on the new snapshot with the reload counter bumped."""
+    _, held_out = serve_split
+    probe = serialize_table(held_out, None, max_tokens=64)[0]
+
+    live = tmp_path / "live.snap"
+    shutil.copyfile(serve_snapshot, live)
+    incoming = tmp_path / "incoming.snap"
+    matcher = IncrementalMultiEM(paper_default_config(music_tiny.name))
+    matcher.fit(music_tiny)  # all five sources: the probe's own table included
+    matcher.save(incoming)
+    matcher.close()
+
+    with MatchSession.load(live) as old_session:
+        old_body = canonical_json(
+            {"rows": rows_to_json(old_session.query_many([probe], k=2))}
+        )
+    with MatchSession.load(incoming) as new_session:
+        new_body = canonical_json(
+            {"rows": rows_to_json(new_session.query_many([probe], k=2))}
+        )
+    assert old_body != new_body  # the probe text distinguishes the states
+
+    async def scenario():
+        server = _serve(live, reload_poll_s=0.02)
+        await server.start()
+        try:
+            bodies = []
+
+            async def hammer():
+                while server.metrics.reloads == 0 and len(bodies) < 500:
+                    status, _, body = await http_request(
+                        server.port, "POST", "/query", {"texts": [probe], "k": 2}
+                    )
+                    assert status == 200
+                    bodies.append(body)
+
+            hammer_task = asyncio.ensure_future(hammer())
+            await asyncio.sleep(0.01)  # land mid-hammer
+            os.replace(incoming, live)
+            await asyncio.wait_for(hammer_task, timeout=30)
+
+            assert bodies, "hammer never got a response in"
+            torn = [b for b in bodies if b not in (old_body, new_body)]
+            assert not torn, f"{len(torn)} torn response(s), e.g. {torn[0]!r}"
+            assert server.metrics.reloads >= 1
+
+            # After the swap settles, answers come from the new state only.
+            status, _, body = await http_request(
+                server.port, "POST", "/query", {"texts": [probe], "k": 2}
+            )
+            assert (status, body) == (200, new_body)
+            status, _, body = await http_request(server.port, "GET", "/healthz")
+            health = json.loads(body)
+            assert status == 200 and health["generation"] == 1
+        finally:
+            await server.stop()
+
+    asyncio.run(scenario())

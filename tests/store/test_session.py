@@ -99,6 +99,54 @@ class TestSessionRoundTrip:
         assert set(session.digests) == {"item_table", "embedding_store", "payload"}
 
 
+class TestQueryMany:
+    """The serving plane's batched entry: batch shape must not change answers."""
+
+    @pytest.fixture(scope="class")
+    def probe_texts(self, split):
+        base, _ = split
+        table = base.table_list()[0]
+        texts = serialize_table(table, None, max_tokens=64)[:5]
+        return texts + ["zzz qqqqq xyzzy 000000 nothing alike"]
+
+    def test_batched_answers_are_batch_invariant(self, snapshot_path, probe_texts):
+        """One batched call == per-text serial calls, floats compared exactly.
+
+        This is the contract the request coalescer slices on; it holds on
+        every backend because :func:`repro.ann.engine.query_rows` loops
+        per row for indexes that are not batch-composition-invariant."""
+        with MatchSession.load(snapshot_path) as session:
+            batched = session.query_many(probe_texts, k=3)
+            serial = [session.query_many([text], k=3)[0] for text in probe_texts]
+            assert batched == serial
+            # Split composition: any partition of the batch answers the same.
+            front = session.query_many(probe_texts[:2], k=3)
+            back = session.query_many(probe_texts[2:], k=3)
+            assert front + back == batched
+
+    def test_query_is_a_thin_alias(self, snapshot_path, probe_texts):
+        with MatchSession.load(snapshot_path) as session:
+            assert session.query(probe_texts, k=2) == session.query_many(probe_texts, k=2)
+
+    def test_max_distance_filtering_matches_serial(self, snapshot_path, probe_texts):
+        with MatchSession.load(snapshot_path) as session:
+            batched = session.query_many(probe_texts, k=3, max_distance=0.35)
+            serial = [
+                session.query_many([text], k=3, max_distance=0.35)[0] for text in probe_texts
+            ]
+            assert batched == serial
+            assert batched[-1] == []  # the far text filters to an empty row
+
+    def test_query_context_is_prepared_once(self, snapshot_path, probe_texts):
+        with MatchSession.load(snapshot_path) as session:
+            assert session._query_context is None
+            session.query_many(probe_texts[:1])
+            context = session._query_context
+            assert context is not None
+            session.query_many(probe_texts[1:3], k=2)
+            assert session._query_context is context
+
+
 class TestSessionErrors:
     def test_unfitted_matcher_rejected(self, tmp_path):
         matcher = IncrementalMultiEM(paper_default_config("music-20"))
