@@ -758,6 +758,84 @@ def run_snapshot_delta_bench(
     }
 
 
+def run_sharded_merge_bench(num_tables: int = 5, rows: int = 1200, repeats: int = 3) -> dict:
+    """Sharded hierarchical merge at shards ∈ {1, 2, 4} vs the serial merge.
+
+    Every sharded run is asserted byte-identical to the serial merge (the
+    plane's whole contract), so what this record tracks is the *cost* of the
+    decomposition: plan construction plus per-owner-group query fan-out and
+    the boundary stitch. On a single-core box the sharded numbers are pure
+    overhead — the decomposition buys a work-splitting boundary for
+    multi-machine merges, not local speedup (see ``shards_caveat``).
+    """
+    from repro.shard import plan_from_item_tables, sharded_hierarchical_merge
+    from repro.store.codecs import item_table_digest
+
+    tables, _ = _pool_bench_tables(num_tables, rows)
+    serial_config = MergingConfig(index="hnsw", m=0.5)
+
+    def best_of(function):
+        best = None
+        result = None
+        for _ in range(max(repeats, 1)):
+            started = time.perf_counter()
+            result = function()
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None or elapsed < best else best
+        return best, result
+
+    # One untimed pass first: kernel load + per-process calibration otherwise
+    # land entirely on the serial leg and flatter the sharded numbers.
+    hierarchical_merge_tables([table for table in tables], serial_config)
+    serial_seconds, (serial_table, _) = best_of(
+        lambda: hierarchical_merge_tables([table for table in tables], serial_config)
+    )
+    serial_digest = item_table_digest(serial_table)
+    shard_legs = []
+    for shards in (1, 2, 4):
+        config = MergingConfig(index="hnsw", m=0.5, shards=max(shards, 2), shard_key="lsh")
+        plan = plan_from_item_tables([table for table in tables], config)
+        if shards == 1:
+            # Everything in one core group: the stitch machinery runs with
+            # nothing to stitch — its fixed cost, isolated.
+            owners = [np.zeros(len(table), dtype=np.int32) for table in tables]
+        else:
+            owners = plan.owners
+        seconds, (merged, _, _) = best_of(
+            lambda o=owners, c=config: sharded_hierarchical_merge(
+                [table for table in tables], o, c
+            )
+        )
+        assert item_table_digest(merged) == serial_digest, "sharded merge diverged"
+        spill = int(sum(int((table_owners == config.shards).sum()) for table_owners in owners))
+        shard_legs.append(
+            {
+                "shards": shards,
+                "seconds": round(seconds, 4),
+                "overhead_vs_serial": round(seconds / max(serial_seconds, 1e-9), 2),
+                "spill_rows": spill,
+            }
+        )
+    return {
+        "dataset": f"sharded-merge-{num_tables}x{rows}",
+        "profile": "tiny" if rows < 1000 else "bench",
+        "backend": "hnsw",
+        "kind": "sharded_merge",
+        "rows": num_tables * rows,
+        "repeats": max(repeats, 1),
+        "shard_key": "lsh",
+        "seconds_serial": round(serial_seconds, 4),
+        "shard_legs": shard_legs,
+        "item_table_digest": serial_digest[:16],
+        "shards_caveat": (
+            "single-core bench box: sharded legs measure decomposition overhead "
+            "(plan + per-group fan-out + boundary stitch), not speedup; all legs "
+            "asserted byte-identical to the serial merge"
+        ),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
 def write_bench_record(record: dict, path: str = BENCH_JSON_PATH) -> None:
     """Append one record to the JSON trail (created on first write).
 
@@ -968,3 +1046,23 @@ def test_bench_quantized_scan(bench_profile):
         f"({record['quantized_speedup']:.2f}x, recall 1.0)"
     )
     assert record["recall_vs_exact"] == 1.0
+
+
+def test_bench_sharded_merge(bench_profile):
+    """Sharded vs serial hierarchical merge (byte-identical; overhead tracked)."""
+    rows = 300 if bench_profile == "tiny" else 1200
+    tables = 5 if bench_profile == "tiny" else 8
+    record = run_sharded_merge_bench(
+        num_tables=tables, rows=rows, repeats=3 if bench_profile != "tiny" else 1
+    )
+    write_bench_record(record)
+    legs = ", ".join(
+        f"{leg['shards']}sh {leg['seconds']:.2f}s ({leg['overhead_vs_serial']:.2f}x, "
+        f"{leg['spill_rows']} spill)"
+        for leg in record["shard_legs"]
+    )
+    print(
+        f"\n  sharded merge over {tables}x{rows} rows: serial "
+        f"{record['seconds_serial']:.2f}s vs {legs}"
+    )
+    assert all(leg["seconds"] > 0 for leg in record["shard_legs"])

@@ -31,6 +31,48 @@ from .base import NearestNeighborIndex
 from .distances import PreparedVectors
 
 
+def hash_planes(dim: int, *, num_tables: int = 8, num_bits: int = 12, seed: int = 0) -> list[np.ndarray]:
+    """The random hyperplanes an :class:`LSHIndex` draws for ``dim``-d vectors.
+
+    One ``(num_bits, dim)`` float32 matrix per hash table, all drawn from a
+    single ``np.random.default_rng(seed)`` stream in table order — exactly the
+    draw :meth:`LSHIndex.build` performs, so external callers (the shard
+    partitioner) hash into the same buckets as the index itself.
+    """
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(num_bits, dim)).astype(np.float32) for _ in range(num_tables)]
+
+
+def _plane_signature(planes: np.ndarray, vectors: np.ndarray, num_bits: int) -> np.ndarray:
+    """Sign-pattern signature of ``vectors`` against one table's hyperplanes."""
+    projections = vectors @ planes.T
+    bits = (projections > 0).astype(np.int64)
+    weights = 1 << np.arange(num_bits, dtype=np.int64)
+    return bits @ weights
+
+
+def bucket_keys(
+    vectors: np.ndarray, *, num_tables: int = 8, num_bits: int = 12, seed: int = 0
+) -> np.ndarray:
+    """Per-row LSH bucket signatures, one column per hash table.
+
+    Returns an ``(n, num_tables)`` int64 array where column ``t`` holds the
+    signature an :class:`LSHIndex` built with the same ``(num_tables,
+    num_bits, seed)`` would assign each row in hash table ``t`` — pinned equal
+    to the index's internal bucketing by ``tests/ann/test_lsh_bucket_keys.py``.
+    This is the stable public key the :mod:`repro.shard` partitioner hashes
+    rows with.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    if vectors.ndim != 2:
+        raise IndexError_("expected a 2-d array of vectors")
+    planes = hash_planes(vectors.shape[1], num_tables=num_tables, num_bits=num_bits, seed=seed)
+    keys = np.empty((vectors.shape[0], num_tables), dtype=np.int64)
+    for t in range(num_tables):
+        keys[:, t] = _plane_signature(planes[t], vectors, num_bits)
+    return keys
+
+
 class LSHIndex(NearestNeighborIndex):
     """Sign-random-projection LSH with multi-table hashing and exact re-ranking.
 
@@ -70,10 +112,7 @@ class LSHIndex(NearestNeighborIndex):
         self._use_native: bool | None = None
 
     def _signature(self, table: int, vectors: np.ndarray) -> np.ndarray:
-        projections = vectors @ self._planes[table].T
-        bits = (projections > 0).astype(np.int64)
-        weights = 1 << np.arange(self.num_bits, dtype=np.int64)
-        return bits @ weights
+        return _plane_signature(self._planes[table], vectors, self.num_bits)
 
     def build(self, vectors: np.ndarray) -> "LSHIndex":
         vectors = np.asarray(vectors, dtype=np.float32)
@@ -81,11 +120,9 @@ class LSHIndex(NearestNeighborIndex):
             raise IndexError_("expected a 2-d array of vectors")
         self._vectors = vectors
         self._prepared = PreparedVectors(vectors, self.metric)
-        rng = np.random.default_rng(self.seed)
-        dim = vectors.shape[1]
-        self._planes = [
-            rng.normal(size=(self.num_bits, dim)).astype(np.float32) for _ in range(self.num_tables)
-        ]
+        self._planes = hash_planes(
+            vectors.shape[1], num_tables=self.num_tables, num_bits=self.num_bits, seed=self.seed
+        )
         self._bucket_signatures = []
         self._bucket_offsets = []
         self._bucket_nodes = []

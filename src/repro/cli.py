@@ -93,6 +93,10 @@ def _cmd_match(args: argparse.Namespace) -> int:
         config = config.with_overrides(parallel={"kernel_threads": args.kernel_threads})
     if args.quantized_scan:
         config = config.with_overrides(merging={"quantized_scan": True})
+    if args.shards > 1:
+        config = config.with_overrides(
+            merging={"shards": args.shards, "shard_key": args.shard_key}
+        )
     result = MultiEM(config).match(dataset)
     print(f"selected attributes: {', '.join(result.selected_attributes)}")
     print(f"predicted tuples:    {result.num_tuples}")
@@ -151,6 +155,10 @@ def _cmd_snapshot_save(args: argparse.Namespace) -> int:
             raise ReproError("--exclude removed every table; nothing to fit")
         dataset = dataset.subset(keep, name=dataset.name)
     config = paper_default_config(dataset.name, parallel=args.parallel)
+    if args.shards > 1:
+        config = config.with_overrides(
+            merging={"shards": args.shards, "shard_key": args.shard_key}
+        )
     with IncrementalMultiEM(config) as matcher:
         result = matcher.fit(dataset)
         digests = matcher.save(args.output)
@@ -426,6 +434,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--quantized-scan", action="store_true",
         help="opt the brute-force backend into the int8 coarse scan + exact re-rank",
     )
+    match.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the merge across N shards via the blocking-key "
+        "partitioner (output is byte-identical to --shards 1)",
+    )
+    match.add_argument(
+        "--shard-key", default="lsh", choices=("lsh", "token"),
+        help="blocking-key family the shard partitioner votes with",
+    )
     match.add_argument("--output", default=None, help="write predicted groups to this JSON file")
     match.set_defaults(func=_cmd_match)
 
@@ -454,6 +471,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--exclude", action="append", default=[], metavar="TABLE",
         help="leave this source table out of the fit (repeatable); "
         "fold it back later with serve-match",
+    )
+    snap_save.add_argument(
+        "--shards", type=int, default=1,
+        help="fit with a sharded merge plane (owner arrays are snapshot too, "
+        "so the fit appends shard-aware)",
+    )
+    snap_save.add_argument(
+        "--shard-key", default="lsh", choices=("lsh", "token"),
+        help="blocking-key family the shard partitioner votes with",
     )
     snap_save.add_argument("--output", required=True, help="snapshot file to write")
     snap_save.set_defaults(func=_cmd_snapshot_save)
@@ -542,7 +568,11 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the async match-serving service over a snapshot "
         "(coalesced batched queries, forked mmap workers, hot reload)"
     )
-    serve_http.add_argument("snapshot", help="snapshot file or chain tip to serve")
+    serve_http.add_argument(
+        "snapshot",
+        help="snapshot file, chain tip, or chain directory to serve (a "
+        "directory is followed: appended deltas hot-reload the workers)",
+    )
     serve_http.add_argument("--host", default="127.0.0.1")
     serve_http.add_argument("--port", type=int, default=8600,
                             help="listen port (0 picks an ephemeral port)")

@@ -98,6 +98,17 @@ class MergingConfig:
             :func:`repro.ann.engine.quantized_topk`).
         seed: seed controlling the random pairing of tables at each hierarchy
             level (Figure 6(b) studies sensitivity to this order).
+        shards: number of merge shards (``1`` = the classic unsharded pass).
+            With ``shards > 1`` the merge plane routes every mutual top-K
+            query workload through the :mod:`repro.shard` subsystem: rows are
+            partitioned by blocking key, each shard's queries run
+            independently, and a boundary pass stitches cross-shard pairs
+            back together. Output is byte-identical to the unsharded merge at
+            any shard count.
+        shard_key: partitioning key family — ``"lsh"`` hashes representative
+            vectors through :func:`repro.ann.lsh.bucket_keys`, ``"token"``
+            reuses the token-blocking keys of the raw records (only available
+            to entry points that still hold the raw tables).
     """
 
     k: int = 1
@@ -116,6 +127,8 @@ class MergingConfig:
     kernel_threads: int = 1
     quantized_scan: bool = False
     seed: int = 0
+    shards: int = 1
+    shard_key: str = "lsh"
 
     def validate(self) -> None:
         if self.k < 1:
@@ -134,6 +147,10 @@ class MergingConfig:
             raise ConfigurationError("index_cache_entries must be >= 1")
         if self.kernel_threads < 1:
             raise ConfigurationError("kernel_threads must be >= 1")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.shard_key not in ("lsh", "token"):
+            raise ConfigurationError(f"unknown shard key {self.shard_key!r}")
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,8 @@ Usage::
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..ann.cache import IndexCache
 from ..config import MultiEMConfig
 from ..data.dataset import MultiTableDataset
@@ -44,6 +46,10 @@ class IncrementalMultiEM:
         self._representer: EntityRepresenter | None = None
         self._attributes: tuple[str, ...] = ()
         self._table: ItemTable = ItemTable.empty()
+        # Per-item shard owner ids when the merging config is sharded
+        # (``MergingConfig.shards > 1``); None for the classic single-shard
+        # path. Carried through add_table merges and snapshotted.
+        self._item_owners: np.ndarray | None = None
         self._store: EmbeddingStore = EmbeddingStore()
         self._known_sources: set[str] = set()
         self._schema: tuple[str, ...] = ()
@@ -81,12 +87,30 @@ class IncrementalMultiEM:
         embeddings = self._representer.encode_dataset(dataset, self._attributes)
         self._store = EmbeddingStore.from_embeddings(embeddings)
         item_tables = [ItemTable.from_embeddings(embeddings[t.name]) for t in dataset.table_list()]
-        integrated, _ = hierarchical_merge_tables(
-            item_tables,
-            self.config.merging,
-            executor=self._executor,
-            cache=self._index_cache,
-        )
+        if self.config.merging.shards > 1:
+            from ..shard import build_shard_plan, sharded_hierarchical_merge
+
+            plan = build_shard_plan(
+                self.config.merging,
+                item_tables=item_tables,
+                raw_tables=dataset.table_list(),
+                attributes=self._attributes,
+            )
+            integrated, _, self._item_owners = sharded_hierarchical_merge(
+                item_tables,
+                plan.owners,
+                self.config.merging,
+                executor=self._executor,
+                cache=self._index_cache,
+            )
+        else:
+            self._item_owners = None
+            integrated, _ = hierarchical_merge_tables(
+                item_tables,
+                self.config.merging,
+                executor=self._executor,
+                cache=self._index_cache,
+            )
         self._table = integrated
         self._known_sources = set(dataset.tables)
         return self._result()
@@ -105,20 +129,49 @@ class IncrementalMultiEM:
         assert self._representer is not None
         embeddings = self._representer.encode_table(table, self._attributes)
         new_table = ItemTable.from_embeddings(embeddings)
-        merged, _ = merge_item_tables(
-            self._table, new_table, self.config.merging, cache=self._index_cache
-        )
+        merging = self.config.merging
+        if merging.shards > 1:
+            from ..shard.executor import sharded_merge_item_tables
+            from ..shard.partition import lsh_owners, token_owners
+
+            if self._item_owners is None:
+                raise DataError(
+                    "sharded merging config but no owner state; refit or load a sharded snapshot"
+                )
+            if merging.shard_key == "token":
+                new_owners = token_owners(table, merging.shards, self._attributes)
+            else:
+                new_owners = lsh_owners(new_table.vectors, merging, merging.shards)
+            merged, _, merged_owners = sharded_merge_item_tables(
+                self._table,
+                new_table,
+                self._item_owners,
+                new_owners,
+                merging,
+                executor=self._executor,
+                cache=self._index_cache,
+            )
+        else:
+            merged, _ = merge_item_tables(
+                self._table, new_table, merging, cache=self._index_cache
+            )
+            merged_owners = None
         # Commit state only after the merge succeeded, so a failed add_table
         # (e.g. OOM at scale) leaves the matcher consistent and retryable.
         self._store.add_table(embeddings)
         self._table = merged
+        self._item_owners = merged_owners
         self._known_sources.add(table.name)
         return self._result()
 
     # ---------------------------------------------------------------- result
     def _result(self) -> MatchResult:
         pruned = prune_item_table(
-            self._table, self._store, self.config.pruning, executor=self._executor
+            self._table,
+            self._store,
+            self.config.pruning,
+            executor=self._executor,
+            owners=self._item_owners,
         )
         method = (
             "IncrementalMultiEM (parallel)" if self._executor.is_parallel else "IncrementalMultiEM"
@@ -186,7 +239,7 @@ class IncrementalMultiEM:
         """
         if not self.is_fitted:
             raise DataError("cannot snapshot an unfitted matcher; call fit() first")
-        return {
+        state = {
             "config": self.config,
             "encoder": self._representer.encoder if self._representer else None,
             "attributes": self._attributes,
@@ -196,6 +249,9 @@ class IncrementalMultiEM:
             "known_sources": sorted(self._known_sources),
             "index_cache": self._index_cache,
         }
+        if self._item_owners is not None:
+            state["item_owners"] = self._item_owners
+        return state
 
     @classmethod
     def from_snapshot_state(
@@ -209,6 +265,7 @@ class IncrementalMultiEM:
         store: EmbeddingStore,
         known_sources,
         index_cache: IndexCache | None,
+        item_owners: np.ndarray | None = None,
     ) -> "IncrementalMultiEM":
         """Rehydrate a fitted matcher from restored state (snapshot load path).
 
@@ -224,6 +281,7 @@ class IncrementalMultiEM:
         matcher._store = store
         matcher._known_sources = set(known_sources)
         matcher._index_cache = index_cache
+        matcher._item_owners = item_owners
         return matcher
 
     # -------------------------------------------------------------- teardown

@@ -292,6 +292,27 @@ def _grouped_mean_vectors(
         )
 
 
+def merge_index_kwargs(config: MergingConfig) -> dict:
+    """The per-merge ANN index kwargs a :class:`MergingConfig` implies.
+
+    Every caller that builds (or cache-keys) a merge index must pass exactly
+    this dict — :func:`merge_item_tables` and the sharded boundary pass in
+    :mod:`repro.shard.boundary` both funnel through it, so their cache
+    ``params_key`` values and index builds agree bit for bit.
+    """
+    return {
+        "hnsw_max_degree": config.hnsw_max_degree,
+        "hnsw_ef_construction": config.hnsw_ef_construction,
+        "hnsw_ef_search": config.hnsw_ef_search,
+        "lsh_num_tables": config.lsh_num_tables,
+        "lsh_num_bits": config.lsh_num_bits,
+        "lsh_probe_neighbors": config.lsh_probe_neighbors,
+        "kernel_threads": config.kernel_threads,
+        "quantized_scan": config.quantized_scan,
+        "seed": config.seed,
+    }
+
+
 def merge_item_tables(
     left: ItemTable,
     right: ItemTable,
@@ -323,20 +344,34 @@ def merge_item_tables(
         metric=config.metric,
         backend=config.index,
         brute_force_limit=config.brute_force_limit,
-        index_kwargs={
-            "hnsw_max_degree": config.hnsw_max_degree,
-            "hnsw_ef_construction": config.hnsw_ef_construction,
-            "hnsw_ef_search": config.hnsw_ef_search,
-            "lsh_num_tables": config.lsh_num_tables,
-            "lsh_num_bits": config.lsh_num_bits,
-            "lsh_probe_neighbors": config.lsh_probe_neighbors,
-            "kernel_threads": config.kernel_threads,
-            "quantized_scan": config.quantized_scan,
-            "seed": config.seed,
-        },
+        index_kwargs=merge_index_kwargs(config),
         cache=cache,
     )
+    merged, _ = merge_tables_with_pairs(left, right, pairs, representative=representative)
+    return merged, len(pairs)
 
+
+def merge_tables_with_pairs(
+    left: ItemTable,
+    right: ItemTable,
+    pairs: "Sequence",
+    *,
+    representative: str = "mean",
+) -> tuple[ItemTable, np.ndarray]:
+    """Union, relabel and materialize a two-table merge from given mutual pairs.
+
+    The post-pair half of :func:`merge_item_tables`, split out so the sharded
+    merge plane (:mod:`repro.shard`) can stitch its boundary-resolved pair
+    list through the exact same vectorized union-find. ``pairs`` must be the
+    :class:`~repro.ann.mutual.MutualPair` list in its canonical
+    ``(distance, left, right)`` lexsort order — pair order drives the unions.
+
+    Returns:
+        ``(merged_table, node_of_group)`` where ``node_of_group[g]`` is the
+        first concatenated node (left rows first, then right rows) of output
+        group ``g`` — callers propagating per-row side data (e.g. shard
+        owners) map it through this array.
+    """
     n_left, n_right = len(left), len(right)
     n = n_left + n_right
 
@@ -453,7 +488,7 @@ def merge_item_tables(
         out_member_indices[multi_dst] = stream_idx
 
     merged = ItemTable(out_vectors, out_member_sources, out_member_indices, out_offsets, sources)
-    return merged, len(pairs)
+    return merged, node_of_group
 
 
 def _merge_pair_task(task: tuple) -> tuple[ItemTable, int]:
@@ -609,6 +644,7 @@ def hierarchical_merge_tables(
     executor: ParallelExecutor | None = None,
     representative: str = "mean",
     cache: IndexCache | None = None,
+    owners: "Sequence[np.ndarray] | None" = None,
 ) -> tuple[ItemTable, MergeStats]:
     """Algorithm 2 on flat tables: merge all tables hierarchically until one remains.
 
@@ -622,7 +658,29 @@ def hierarchical_merge_tables(
     whole hierarchy, so a table carried forward unchanged (odd leftovers, or
     merges that matched nothing) is never re-indexed from scratch. Pass an
     explicit ``cache`` to share reuse across several hierarchies.
+
+    With ``config.shards > 1`` the level loop is delegated to the sharded
+    merge plane (:mod:`repro.shard`): per-table owner arrays (``owners``, or
+    a plan built here from the item vectors for the ``"lsh"`` shard key)
+    decompose every merge's query workload by shard, and the boundary pass
+    stitches the result back byte-identical to the unsharded merge.
     """
+    if config.shards > 1:
+        from ..shard.executor import sharded_hierarchical_merge
+        from ..shard.plan import build_shard_plan
+
+        flat = [as_item_table(table) for table in tables]
+        if owners is None:
+            owners = build_shard_plan(config, item_tables=flat).owners
+        merged, stats, _ = sharded_hierarchical_merge(
+            flat,
+            list(owners),
+            config,
+            executor=executor,
+            representative=representative,
+            cache=cache,
+        )
+        return merged, stats
     executor = executor or ParallelExecutor()
     if cache is None and config.index_cache:
         cache = IndexCache(max_entries=config.index_cache_entries)

@@ -47,6 +47,7 @@ callables as before.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
@@ -158,6 +159,30 @@ class ParallelExecutor:
         from ..store import plane
 
         return plane.available()
+
+    @contextlib.contextmanager
+    def plane_session(self, tasks: "list[dict]", metas: "list | None" = None):
+        """One shared-memory plane kept alive across several ``map`` calls.
+
+        The sharded merge plane dispatches multiple owner-group ``map``
+        rounds (forward queries, then backward queries) against the *same*
+        pair of vector matrices; packing them into one
+        :class:`repro.store.plane.TaskPlane` per merge — instead of one per
+        ``map`` — amortizes the segment create/copy/unlink over every round.
+        Yields the plane (unlinked on exit, even on error), or ``None`` when
+        the executor does not ship arrays through shared memory, in which
+        case callers fall back to their pickle/in-parent path.
+        """
+        if not self.uses_shared_memory:
+            yield None
+            return
+        from ..store import plane as plane_mod
+
+        plane = plane_mod.TaskPlane(tasks, metas)
+        try:
+            yield plane
+        finally:
+            plane.close()
 
     def attach_index_cache(self, cache: "IndexCache | None") -> None:
         """Register the cache whose snapshot seeds process workers.

@@ -95,15 +95,35 @@ class MultiEM:
             )
         started = time.perf_counter()
         item_tables = [ItemTable.from_embeddings(embeddings[table.name]) for table in dataset.table_list()]
-        integrated, merge_stats = hierarchical_merge_tables(
-            item_tables, merging_config, executor=executor
-        )
+        item_owners = None
+        if merging_config.shards > 1:
+            # Sharded plane: partition rows by blocking key, run the same
+            # hierarchy with per-shard query fan-out, and carry the owner
+            # array into owner-grouped pruning. Output bytes are identical
+            # to the unsharded path (see repro.shard).
+            from ..shard import build_shard_plan, sharded_hierarchical_merge
+
+            plan = build_shard_plan(
+                merging_config,
+                item_tables=item_tables,
+                raw_tables=dataset.table_list(),
+                attributes=attributes,
+            )
+            integrated, merge_stats, item_owners = sharded_hierarchical_merge(
+                item_tables, plan.owners, merging_config, executor=executor
+            )
+        else:
+            integrated, merge_stats = hierarchical_merge_tables(
+                item_tables, merging_config, executor=executor
+            )
         num_candidates = int((integrated.sizes >= 2).sum())
         timings.merging = time.perf_counter() - started
 
         # Stage P: density-based pruning (Algorithm 4), batched off the flat table.
         started = time.perf_counter()
-        pruned = prune_item_table(integrated, store, self.config.pruning, executor=executor)
+        pruned = prune_item_table(
+            integrated, store, self.config.pruning, executor=executor, owners=item_owners
+        )
         timings.pruning = time.perf_counter() - started
 
         tuples = {frozenset(item.members) for item in pruned if item.size >= 2}

@@ -36,6 +36,7 @@ from typing import Mapping
 import numpy as np
 
 from ..ann.distances import batched_pairwise_distances, pairwise_distances
+from ..arrays import csr_positions
 from ..config import PruningConfig
 from ..data.entity import EntityRef
 from .merging import ItemTable, MergeItem, bucketed_weighted_mean, weighted_mean_vector
@@ -187,8 +188,15 @@ def _assemble_survivors(
     member_matrix: np.ndarray,
     offsets: np.ndarray,
     config: PruningConfig,
+    kept_rows: list[int] | None = None,
 ) -> list[MergeItem]:
-    """Classify a gathered candidate chunk and build its surviving items."""
+    """Classify a gathered candidate chunk and build its surviving items.
+
+    When ``kept_rows`` is given, the chunk-local index of every surviving
+    candidate is appended to it (survivor-aligned) — the owner-grouped
+    sharded path uses this to stitch per-group survivor lists back into the
+    original candidate order.
+    """
     keep, keep_counts = _classify_members(member_matrix, offsets, config)
     survivors: list[MergeItem] = []
     partial_slots: list[int] = []
@@ -198,6 +206,8 @@ def _assemble_survivors(
         count = int(keep_counts[i])
         if count < 2:
             continue
+        if kept_rows is not None:
+            kept_rows.append(i)
         if count == item.size:
             survivors.append(item)  # untouched tuples keep their identity
             continue
@@ -299,6 +309,59 @@ def _map_prune_payloads(executor: ParallelExecutor, payloads: list[tuple]) -> li
     return executor.map(_prune_payload_task, payloads)
 
 
+def _prune_rows_payload_task(payload: tuple) -> tuple[np.ndarray, list[MergeItem]]:
+    """Classify one owner group's pre-gathered candidates (process-pool task).
+
+    Like :func:`_prune_payload_task` but for an *arbitrary* candidate row set
+    (an owner group rather than a contiguous range): returns the surviving
+    global candidate rows alongside the survivors so the parent can stitch
+    groups back into the original candidate order.
+    """
+    chunk, member_matrix, offsets, config, group_rows = payload
+    kept: list[int] = []
+    survivors = _assemble_survivors(chunk, member_matrix, offsets, config, kept_rows=kept)
+    return group_rows[np.asarray(kept, dtype=np.int64)], survivors
+
+
+def _prune_rows_payload_shm_task(task: tuple) -> tuple[np.ndarray, list[MergeItem]]:
+    """Shared-memory counterpart of :func:`_prune_rows_payload_task`."""
+    from ..store import plane as plane_mod
+
+    plane_name, index, chunk, config, group_rows = task
+    plane = plane_mod.worker_plane(plane_name)
+    member_matrix = plane.array(f"t{index}/member_matrix")
+    offsets = plane.array(f"t{index}/offsets")
+    kept: list[int] = []
+    survivors = _assemble_survivors(chunk, member_matrix, offsets, config, kept_rows=kept)
+    return group_rows[np.asarray(kept, dtype=np.int64)], survivors
+
+
+def _map_prune_rows_payloads(
+    executor: ParallelExecutor, payloads: list[tuple]
+) -> list[tuple[np.ndarray, list[MergeItem]]]:
+    """Dispatch owner-group payloads to process workers (shm plane when on)."""
+    if executor.uses_shared_memory and len(payloads) > 1:
+        from ..store import plane as plane_mod
+
+        plane = plane_mod.TaskPlane(
+            [
+                {"member_matrix": matrix, "offsets": offsets}
+                for _, matrix, offsets, _, _ in payloads
+            ]
+        )
+        try:
+            return executor.map(
+                _prune_rows_payload_shm_task,
+                [
+                    (plane.name, i, chunk, config, group_rows)
+                    for i, (chunk, _, _, config, group_rows) in enumerate(payloads)
+                ],
+            )
+        finally:
+            plane.close()
+    return executor.map(_prune_rows_payload_task, payloads)
+
+
 def prune_items(
     items: list[MergeItem],
     embedding_lookup: Mapping[EntityRef, np.ndarray],
@@ -341,6 +404,7 @@ def prune_item_table(
     config: PruningConfig,
     *,
     executor: ParallelExecutor | None = None,
+    owners: np.ndarray | None = None,
 ) -> list[MergeItem]:
     """Prune candidates straight off a flat :class:`~repro.core.merging.ItemTable`.
 
@@ -351,6 +415,13 @@ def prune_item_table(
     fraction of the table — and the surviving tuples come back as item views.
     Survivor member sets are identical to
     ``prune_items(candidate_tuples(table), store, config)``.
+
+    ``owners`` (a per-item ``int32`` array from the sharded merge plane)
+    switches chunking from contiguous ranges to owner groups, so each shard's
+    candidates classify together; survivors are stitched back into original
+    candidate order, and since classification is chunk-invariant (pinned by
+    the flat-equivalence tests) the output is byte-identical to the
+    unsharded call.
     """
     executor = executor or ParallelExecutor()
     candidates = table.filter(table.sizes >= 2)
@@ -360,6 +431,30 @@ def prune_item_table(
         return []
     rows = store.member_rows(candidates.sources, candidates.member_sources, candidates.member_indices)
     refs = candidates.member_refs()
+    if owners is not None:
+        candidate_owners = np.asarray(owners, dtype=np.int32)[
+            np.asarray(table.sizes >= 2, dtype=bool)
+        ]
+        groups = [
+            np.flatnonzero(candidate_owners == owner).astype(np.int64)
+            for owner in np.unique(candidate_owners)
+        ]
+        if executor.uses_processes:
+            payloads = [
+                (*_table_rows_payload(candidates, store, rows, refs, g), config, g)
+                for g in groups
+            ]
+            mapped_rows = _map_prune_rows_payloads(executor, payloads)
+        else:
+            mapped_rows = executor.map(
+                lambda g: _prune_table_rows(candidates, store, rows, refs, g, config),
+                groups,
+            )
+        tagged: list[tuple[int, MergeItem]] = []
+        for kept_rows, survivors in mapped_rows:
+            tagged.extend(zip(kept_rows.tolist(), survivors))
+        tagged.sort(key=lambda pair: pair[0])
+        return [item for _, item in tagged]
     if executor.is_parallel:
         workers = executor.config.max_workers or 4
         bounds = _chunk_bounds(len(candidates), max(workers, 1) * 2)
@@ -406,6 +501,47 @@ def _table_chunk_payload(
         for i, (o0, o1) in enumerate(zip(chunk_offsets[:-1].tolist(), chunk_offsets[1:].tolist()))
     ]
     return chunk_items, member_matrix, chunk_offsets
+
+
+def _table_rows_payload(
+    candidates: ItemTable,
+    store: EmbeddingStore,
+    rows: np.ndarray,
+    refs: list[EntityRef],
+    group_rows: np.ndarray,
+) -> tuple[list[MergeItem], np.ndarray, np.ndarray]:
+    """Materialize an arbitrary candidate row set (one owner group) for pruning."""
+    counts = candidates.sizes[group_rows]
+    chunk_offsets = np.zeros(len(group_rows) + 1, dtype=np.int64)
+    np.cumsum(counts, out=chunk_offsets[1:])
+    positions = csr_positions(candidates.member_offsets[group_rows], counts)
+    member_matrix = store.matrix[rows[positions]]
+    starts = candidates.member_offsets[group_rows].tolist()
+    chunk_items = [
+        MergeItem(
+            members=tuple(refs[start : start + int(count)]),
+            vector=candidates.vectors[int(row)],
+        )
+        for row, start, count in zip(group_rows.tolist(), starts, counts.tolist())
+    ]
+    return chunk_items, member_matrix, chunk_offsets
+
+
+def _prune_table_rows(
+    candidates: ItemTable,
+    store: EmbeddingStore,
+    rows: np.ndarray,
+    refs: list[EntityRef],
+    group_rows: np.ndarray,
+    config: PruningConfig,
+) -> tuple[np.ndarray, list[MergeItem]]:
+    """Prune one owner group's candidate rows in-parent; returns (kept rows, survivors)."""
+    chunk_items, member_matrix, chunk_offsets = _table_rows_payload(
+        candidates, store, rows, refs, group_rows
+    )
+    kept: list[int] = []
+    survivors = _assemble_survivors(chunk_items, member_matrix, chunk_offsets, config, kept_rows=kept)
+    return group_rows[np.asarray(kept, dtype=np.int64)], survivors
 
 
 def _prune_table_chunk(

@@ -15,6 +15,14 @@ worker under its dispatch lock, so the swap lands between batches and no
 response is ever computed from torn state. The signature only advances when
 every worker confirms, so a failed reload retries on the next poll.
 
+The served path may also be a **chain directory**: a directory of snapshot
+files where an incremental publisher appends delta segments
+(``snapshot append``). The server resolves the deepest loadable chain tip at
+startup, and the watcher re-resolves whenever the directory's own signature
+moves — a freshly appended delta becomes the new tip and hot-reloads every
+worker (``MatchSession.load`` resolves the chain ancestry on the worker
+side), so serving follows the chain without restarts.
+
 Shutdown (SIGTERM/SIGINT) is a drain, not an abort: stop accepting, let
 in-flight requests finish (bounded), then walk the worker plane down with
 ``shutdown`` frames.
@@ -64,14 +72,60 @@ def _snapshot_signature(path: str) -> tuple | None:
     return (stat.st_mtime_ns, stat.st_size, stat.st_ino)
 
 
+def _resolve_chain_tip(directory: str) -> str | None:
+    """The deepest loadable snapshot in a chain directory (ties break by name).
+
+    Scans regular files only (quarantine subdirectories, markers, and
+    partials are skipped or fail to parse and are ignored), reads each
+    manifest for its chain depth, and returns the deepest tip — the file a
+    :class:`~repro.store.format.SnapshotChain` open would fold the most
+    state from. Returns ``None`` when the directory holds no snapshot yet.
+    """
+    from ..store.format import Snapshot
+
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        return None
+    best_key = None
+    best_path = None
+    for name in names:
+        if name.startswith("."):
+            continue
+        path = os.path.join(directory, name)
+        if not os.path.isfile(path):
+            continue
+        try:
+            with Snapshot.open(path, mmap=False) as snapshot:
+                depth = snapshot.chain["depth"] if snapshot.chain is not None else 0
+        except (ReproError, OSError, ValueError, KeyError):
+            continue
+        key = (depth, name)
+        if best_key is None or key > best_key:
+            best_key, best_path = key, path
+    return best_path
+
+
 class MatchServer:
     """The serving plane, assembled: plane + coalescer + HTTP front end."""
 
     def __init__(self, config: ServeConfig, *, metrics: ServeMetrics | None = None):
         self.config = config
         self.metrics = metrics or ServeMetrics()
+        self._chain_dir = (
+            config.snapshot_path if os.path.isdir(config.snapshot_path) else None
+        )
+        if self._chain_dir is not None:
+            tip = _resolve_chain_tip(self._chain_dir)
+            if tip is None:
+                raise ServeError(
+                    f"chain directory {self._chain_dir!r} holds no loadable snapshot"
+                )
+            self._snapshot_path = tip
+        else:
+            self._snapshot_path = config.snapshot_path
         self.plane = WorkerPlane(
-            config.snapshot_path, config.workers, metrics=self.metrics
+            self._snapshot_path, config.workers, metrics=self.metrics
         )
         max_batch = config.max_batch if config.coalesce else 1
         self.coalescer = QueryCoalescer(
@@ -83,6 +137,7 @@ class MatchServer:
         self._server: asyncio.AbstractServer | None = None
         self._watcher: asyncio.Task | None = None
         self._signature = None
+        self._dir_signature = None
         self._inflight = 0
         self._drained = asyncio.Event()
         self._shutdown = asyncio.Event()
@@ -91,7 +146,9 @@ class MatchServer:
     # -------------------------------------------------------------- lifecycle
     async def start(self) -> None:
         await self.plane.start()
-        self._signature = _snapshot_signature(self.config.snapshot_path)
+        self._signature = _snapshot_signature(self._snapshot_path)
+        if self._chain_dir is not None:
+            self._dir_signature = _snapshot_signature(self._chain_dir)
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
@@ -105,7 +162,7 @@ class MatchServer:
                     "host": self.config.host,
                     "port": self.port,
                     "workers": self.config.workers,
-                    "snapshot": self.config.snapshot_path,
+                    "snapshot": self._snapshot_path,
                 }
             ),
             flush=True,
@@ -155,16 +212,35 @@ class MatchServer:
     async def _watch_snapshot(self) -> None:
         while True:
             await asyncio.sleep(self.config.reload_poll_s)
-            signature = _snapshot_signature(self.config.snapshot_path)
-            if signature is None or signature == self._signature:
+            if self._chain_dir is not None:
+                # Chain-directory mode: re-resolve the deepest tip, but only
+                # when the directory itself moved (an append creates a file,
+                # flipping the directory's own mtime), so idle polls never
+                # parse manifests.
+                dir_signature = _snapshot_signature(self._chain_dir)
+                if dir_signature == self._dir_signature:
+                    continue
+                target = _resolve_chain_tip(self._chain_dir)
+                if target is None:
+                    continue
+            else:
+                dir_signature = None
+                target = self._snapshot_path
+            signature = _snapshot_signature(target)
+            if signature is None:
+                continue
+            if target == self._snapshot_path and signature == self._signature:
+                # Directory churn without a new tip (marker files, sweeps):
+                # advance the directory signature so we stop rescanning.
+                self._dir_signature = dir_signature
                 continue
             try:
-                await self.plane.broadcast(
-                    {"op": "reload", "path": self.config.snapshot_path}
-                )
+                await self.plane.broadcast({"op": "reload", "path": target})
             except ServeError:
                 continue  # a worker died mid-reload; retry next poll
+            self._snapshot_path = target
             self._signature = signature
+            self._dir_signature = dir_signature
             self.metrics.reloads += 1
 
     # ----------------------------------------------------------------- routes
@@ -243,7 +319,7 @@ class MatchServer:
             workers_healthy=self.plane.healthy,
             workers_degraded=self.plane.degraded,
             coalesce_enabled=self.coalescer.enabled,
-            snapshot_path=self.config.snapshot_path,
+            snapshot_path=self._snapshot_path,
         )
 
     async def _admitted(self, request: Request) -> tuple[int, bytes, dict | None]:

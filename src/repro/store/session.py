@@ -71,7 +71,18 @@ def session_state_bundle(state) -> "tuple[dict, dict[str, np.ndarray]]":
     ]
     if state["index_cache"] is not None:
         parts.append(("cache", "cache/", codecs.index_cache_state(state["index_cache"])))
-    metas: dict = {"cache": None}
+    if state.get("item_owners") is not None:
+        merging = state["config"].merging
+        parts.append(
+            (
+                "shard",
+                "shard/",
+                codecs.shard_plan_state(
+                    state["item_owners"], merging.shards, merging.shard_key
+                ),
+            )
+        )
+    metas: dict = {"cache": None, "shard": None}
     arrays: dict = {}
     for key, prefix, (meta, bundle) in parts:
         meta = dict(meta)
@@ -83,8 +94,10 @@ def session_state_bundle(state) -> "tuple[dict, dict[str, np.ndarray]]":
 
 
 def _session_meta(state, metas: dict, digests: dict) -> dict:
-    # Key order is part of the byte-pinned manifest; do not reorder.
-    return {
+    # Key order is part of the byte-pinned manifest; do not reorder. The
+    # "shard" key is appended last and only for sharded fits, so unsharded
+    # snapshot bytes are unchanged by the sharding feature.
+    meta = {
         "type": SESSION_TYPE,
         "config": codecs.config_to_meta(state["config"]),
         "attributes": list(state["attributes"]),
@@ -96,6 +109,9 @@ def _session_meta(state, metas: dict, digests: dict) -> dict:
         "encoder": metas["encoder"],
         "cache": metas["cache"],
     }
+    if metas.get("shard") is not None:
+        meta["shard"] = metas["shard"]
+    return meta
 
 
 def _state_digests(state) -> dict:
@@ -239,6 +255,11 @@ def _restore_state(
         cache = codecs.index_cache_from_state(
             meta["cache"], codecs.unpack_arrays(arrays, "cache/", meta["cache"])
         )
+    item_owners = None
+    if meta.get("shard") is not None:
+        item_owners = codecs.shard_plan_from_state(
+            meta["shard"], codecs.unpack_arrays(arrays, "shard/", meta["shard"])
+        )
     return IncrementalMultiEM.from_snapshot_state(
         config=codecs.config_from_meta(meta["config"]),
         encoder=encoder,
@@ -248,6 +269,7 @@ def _restore_state(
         store=store,
         known_sources=meta["known_sources"],
         index_cache=cache,
+        item_owners=item_owners,
     )
 
 

@@ -1,0 +1,60 @@
+"""Pin :func:`repro.ann.lsh.bucket_keys` to the index's internal bucketing.
+
+The shard partitioner hashes rows through the public ``bucket_keys`` helper
+without building an index; that only yields shard plans consistent with LSH
+blocking if the helper reproduces, bit for bit, the signatures an
+:class:`~repro.ann.lsh.LSHIndex` assigns internally for the same
+``(num_tables, num_bits, seed)``. This file is that contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ann.lsh import LSHIndex, bucket_keys, hash_planes
+from repro.exceptions import IndexError_
+
+
+def _vectors(rows: int = 80, dim: int = 24, seed: int = 3) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(rows, dim)).astype(np.float32)
+
+
+@pytest.mark.parametrize("num_tables,num_bits,seed", [(8, 12, 0), (4, 6, 7), (1, 16, 42)])
+def test_bucket_keys_match_index_internal_signatures(num_tables, num_bits, seed):
+    vectors = _vectors()
+    index = LSHIndex(num_tables=num_tables, num_bits=num_bits, seed=seed).build(vectors)
+    keys = bucket_keys(vectors, num_tables=num_tables, num_bits=num_bits, seed=seed)
+    assert keys.shape == (len(vectors), num_tables) and keys.dtype == np.int64
+    for table in range(num_tables):
+        assert np.array_equal(keys[:, table], index._signature(table, vectors))
+
+
+def test_bucket_keys_match_build_bucket_membership():
+    """Rows sharing a signature column share the index's CSR bucket, and vice versa."""
+    vectors = _vectors(rows=120, dim=8, seed=1)
+    index = LSHIndex(num_tables=3, num_bits=4, seed=5).build(vectors)
+    keys = bucket_keys(vectors, num_tables=3, num_bits=4, seed=5)
+    for table in range(3):
+        signatures = index._bucket_signatures[table]
+        offsets = index._bucket_offsets[table]
+        nodes = index._bucket_nodes[table]
+        for b in range(len(signatures)):
+            members = np.sort(nodes[offsets[b] : offsets[b + 1]])
+            assert np.array_equal(members, np.flatnonzero(keys[:, table] == signatures[b]))
+
+
+def test_bucket_keys_deterministic_and_seed_sensitive():
+    vectors = _vectors()
+    assert np.array_equal(bucket_keys(vectors), bucket_keys(vectors))
+    assert not np.array_equal(bucket_keys(vectors, seed=0), bucket_keys(vectors, seed=1))
+    # hash_planes is the single source of the projection draw.
+    planes = hash_planes(vectors.shape[1])
+    rebuilt = LSHIndex().build(vectors)
+    for ours, theirs in zip(planes, rebuilt._planes):
+        assert np.array_equal(ours, theirs)
+
+
+def test_bucket_keys_rejects_non_matrix_input():
+    with pytest.raises(IndexError_):
+        bucket_keys(np.zeros(8, dtype=np.float32))
